@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Coordination Cq Database Domain Entangled Eval Int64 List Option Printf Prng Relation Relational Term Value Workload

@@ -1,0 +1,1 @@
+bench/figures.ml: Coordination Entangled Filename Hashtbl Int64 List Printf Prng Relational String Workload

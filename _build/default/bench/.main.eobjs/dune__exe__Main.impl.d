@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Arg Figures List Micro Printf

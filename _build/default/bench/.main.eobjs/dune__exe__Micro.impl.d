@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Coordination Hashtbl Instance List Measure Printf Prng Relational Staged Test Time Toolkit Workload

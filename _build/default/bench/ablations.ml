@@ -1,0 +1,282 @@
+(* Ablation benchmarks for the design choices DESIGN.md calls out:
+   evaluator access paths and join ordering, the preprocessing step of
+   the SCC algorithm, and its selection criterion. *)
+
+open Relational
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let time f =
+  let x, ns = Coordination.Stats.timed f in
+  (x, ms ns)
+
+(* --------------------------- Evaluator ---------------------------- *)
+
+(* A join whose syntactic order is adversarial: the big Edge relation
+   comes first, the single-row Mark atoms last.  Greedy planning starts
+   from the selective atoms and walks the join through indexes; the
+   fixed orders pay for starting blind. *)
+let evaluator ?(rows = 3_000) () =
+  Printf.printf "\n== Ablation: evaluator access path and join order ==\n";
+  Printf.printf
+    "(Edge(x,y), Edge(y,z), Mark(z) with |Edge| = %d and |Mark| = 1, \
+     selective atom written last)\n"
+    rows;
+  let db = Database.create () in
+  ignore (Database.create_table' db "Edge" [ "a"; "b" ]);
+  ignore (Database.create_table' db "Mark" [ "a" ]);
+  let rng = Prng.create 99 in
+  for _ = 1 to rows do
+    Database.insert db "Edge"
+      [ Value.Int (Prng.int rng rows); Value.Int (Prng.int rng rows) ]
+  done;
+  (* Mark one value that is guaranteed to appear as an edge target. *)
+  let target =
+    match Relation.to_list (Database.relation db "Edge") with
+    | t :: _ -> t.(1)
+    | [] -> Value.Int 0
+  in
+  Database.insert db "Mark" [ target ];
+  let body =
+    Cq.make
+      [
+        { Cq.rel = "Edge"; args = [| Term.Var "x"; Term.Var "y" |] };
+        { Cq.rel = "Edge"; args = [| Term.Var "y"; Term.Var "z" |] };
+        { Cq.rel = "Mark"; args = [| Term.Var "z" |] };
+      ]
+  in
+  (* Warm the indexes so the scan variant is not unfairly charged for
+     building them. *)
+  ignore (Eval.find_first db body);
+  let run plan label =
+    let result, t = time (fun () -> Eval.find_first ~plan db body) in
+    Printf.printf "  %-22s %10.3f ms   (found: %b)\n" label t
+      (Option.is_some result)
+  in
+  run Eval.Greedy_indexed "greedy + index";
+  run Eval.Fixed_indexed "fixed order + index";
+  run Eval.Fixed_scan "fixed order + scan"
+
+(* ------------------------- Preprocessing -------------------------- *)
+
+(* Preprocessing is not just a speed-up: it restores applicability.
+   Each user's postcondition has a second, apparent candidate head
+   offered by a "ghost" query whose own postcondition is unsatisfiable.
+   Without the iterative removal the set looks unsafe and the algorithm
+   must refuse; with it, the ghosts disappear and coordination
+   proceeds. *)
+let preprocess ?(rows = 20_000) ?(n = 40) () =
+  Printf.printf "\n== Ablation: SCC preprocessing (unsatisfiable posts) ==\n";
+  Printf.printf
+    "(chain of %d queries + %d ghost queries that make the set look unsafe)\n"
+    n n;
+  let db = Database.create () in
+  ignore (Workload.Social.install_posts ~rows db);
+  let rng = Prng.create 7 in
+  let base = Workload.Listgen.queries rng ~n in
+  let ghosts =
+    List.init n (fun i ->
+        Entangled.Query.make
+          ~name:(Printf.sprintf "ghost%d" i)
+          ~post:[ { Cq.rel = "Zz"; args = [| Term.int 1 |] } ]
+          ~head:
+            [
+              {
+                Cq.rel = "R";
+                args = [| Term.const (Workload.Listgen.user i); Term.Var "g" |];
+              };
+            ]
+          [ { Cq.rel = "Posts"; args = [| Term.Var "g"; Term.Var "t" |] } ])
+  in
+  let input = base @ ghosts in
+  let run preprocess =
+    match Coordination.Scc_algo.solve ~preprocess db input with
+    | Error (Coordination.Scc_algo.Not_safe ws) ->
+      Printf.sprintf "REFUSED as unsafe (%d witnesses)" (List.length ws)
+    | Ok outcome ->
+      Printf.sprintf "solved: size %d, %.3f ms, %d probes"
+        (match outcome.solution with
+        | Some s -> Entangled.Solution.size s
+        | None -> 0)
+        (ms outcome.stats.total_ns)
+        outcome.stats.db_probes
+  in
+  Printf.printf "  with preprocessing:    %s\n" (run true);
+  Printf.printf "  without preprocessing: %s\n" (run false)
+
+(* --------------------------- Selection ---------------------------- *)
+
+let selection ?(rows = 20_000) ?(n = 60) () =
+  Printf.printf "\n== Ablation: selection criterion ==\n";
+  Printf.printf "(chain of %d queries; Largest needs all candidates, \
+                 First_found stops at the first sink)\n" n;
+  let db = Database.create () in
+  ignore (Workload.Social.install_posts ~rows db);
+  let rng = Prng.create 11 in
+  let input = Workload.Listgen.queries rng ~n in
+  let run selection label =
+    match Coordination.Scc_algo.solve ~selection db input with
+    | Error _ -> ()
+    | Ok outcome ->
+      Printf.printf "  %-12s %10.3f ms  %4d probes  solution size %d\n" label
+        (ms outcome.stats.total_ns) outcome.stats.db_probes
+        (match outcome.solution with
+        | Some s -> Entangled.Solution.size s
+        | None -> 0)
+  in
+  run Coordination.Scc_algo.Largest "largest";
+  run Coordination.Scc_algo.First_found "first-found"
+
+(* --------------------------- Minimization ------------------------- *)
+
+(* When all chain members share one topic, the combined suffix queries
+   are n copies of the same atom up to variable renaming: their core is
+   a single atom.  Minimization trades a homomorphism search for far
+   smaller joins. *)
+let minimize ?(rows = 82_168) ?(n = 30) () =
+  Printf.printf "\n== Ablation: combined-query minimization (CQ cores) ==\n";
+  Printf.printf
+    "(chain of %d queries over one shared topic: each suffix query's core \
+     is a single atom)\n"
+    n;
+  let db = Database.create () in
+  ignore (Workload.Social.install_posts ~rows ~topics:1 db);
+  let rng = Prng.create 21 in
+  let input = Workload.Listgen.queries ~topics:1 rng ~n in
+  let run minimize label =
+    match Coordination.Scc_algo.solve ~minimize db input with
+    | Error _ -> ()
+    | Ok outcome ->
+      Printf.printf "  %-18s %10.3f ms  (ground %8.3f ms, solution %d)\n" label
+        (ms outcome.stats.total_ns)
+        (ms outcome.stats.ground_ns)
+        (match outcome.solution with
+        | Some s -> Entangled.Solution.size s
+        | None -> 0)
+  in
+  run false "as unified";
+  run true "minimized cores"
+
+(* ---------------------------- Parallel ---------------------------- *)
+
+let parallel ?(rows = 600) ?(users = 150) () =
+  Printf.printf "\n== Ablation: parallel value loop (Section 6.2 future work) ==\n";
+  Printf.printf
+    "(cascade instance: %d values, %d chained queries; cleaning dominates.\n\
+    \ total = whole solve; loop = the parallelisable per-value phase.\n\
+    \ this machine reports %d usable core(s): with a single core, extra\n\
+    \ domains can only add synchronisation overhead — correctness of the\n\
+    \ parallel path is what this ablation checks there)\n"
+    rows users
+    (Domain.recommended_domain_count ());
+  let db = Relational.Database.create () in
+  ignore (Workload.Flights.install_flights db ~rows);
+  ignore (Workload.Flights.install_complete_friends db ~users);
+  let queries = Workload.Flights.cascade_queries ~users in
+  let seq =
+    match Coordination.Consistent.solve db Workload.Flights.config queries with
+    | Ok o -> o
+    | Error _ -> failwith "sequential failed"
+  in
+  Printf.printf "  sequential            total %9.3f ms   loop %9.3f ms   (%d members)\n"
+    (ms seq.stats.total_ns) (ms seq.stats.unify_ns)
+    (List.length seq.members);
+  List.iter
+    (fun domains ->
+      match
+        Coordination.Parallel.solve ~domains db Workload.Flights.config queries
+      with
+      | Error _ -> ()
+      | Ok par ->
+        Printf.printf
+          "  %d domain(s)           total %9.3f ms   loop %9.3f ms   (agrees: %b)\n"
+          domains (ms par.stats.total_ns) (ms par.stats.unify_ns)
+          (par.chosen_value = seq.chosen_value && par.members = seq.members))
+    [ 1; 2; 4; 8 ]
+
+(* ---------------------------- Realistic --------------------------- *)
+
+(* The paper closes Section 6.2 arguing that its two stress tests are
+   "absolutely worst possible scenarios" and that "in a more realistic
+   setting with a more restricted coordination instance, the algorithm
+   will perform very well".  This ablation quantifies that claim: same
+   table and user count, but users pin destinations/sources the way
+   travellers actually do. *)
+let realistic ?(rows = 500) ?(users = 50) () =
+  Printf.printf "\n== Ablation: worst case vs realistic constraints (Section 6.2) ==\n";
+  Printf.printf "(%d flights, %d users; realistic users pin dest/source 70%% \
+                 of the time)\n" rows users;
+  let run label queries db =
+    match Coordination.Consistent.solve db Workload.Flights.config queries with
+    | Error _ -> ()
+    | Ok outcome ->
+      Printf.printf
+        "  %-12s %10.3f ms   %5d values examined   %3d coordinated\n" label
+        (ms outcome.stats.total_ns) outcome.stats.candidates
+        (List.length outcome.members)
+  in
+  let db_worst, worst = Workload.Flights.make_worst_case ~rows ~users in
+  run "worst case" worst db_worst;
+  let db_real = Database.create () in
+  ignore (Workload.Flights.install_flights db_real ~rows);
+  ignore (Workload.Flights.install_complete_friends db_real ~users);
+  let rng = Prng.create 17 in
+  let realistic_queries =
+    Workload.Flights.constrained_queries rng ~users ~rows ~constrain_fraction:0.7
+  in
+  run "realistic" realistic_queries db_real
+
+(* ----------------------------- Online ----------------------------- *)
+
+let online ?(rows = 20_000) ?(n = 60) () =
+  Printf.printf "\n== Ablation: online vs batch evaluation ==\n";
+  Printf.printf
+    "(%d chain queries streamed head-first: everything pends until the \
+     post-free tail arrives and the whole chain fires at once)\n"
+    n;
+  let db = Database.create () in
+  ignore (Workload.Social.install_posts ~rows db);
+  let rng = Prng.create 3 in
+  let queries = Workload.Listgen.queries rng ~n in
+  (* Batch: one evaluation over the whole set. *)
+  let (), batch_ms =
+    time (fun () -> ignore (Coordination.Scc_algo.solve db queries))
+  in
+  Printf.printf "  batch (one solve):      %10.3f ms\n" batch_ms;
+  let engine = Coordination.Online.create db in
+  let fired = ref 0 in
+  let (), online_ms =
+    time (fun () ->
+        List.iter
+          (fun q ->
+            match Coordination.Online.submit engine q with
+            | Coordination.Online.Coordinated c ->
+              fired := !fired + List.length c.Coordination.Online.queries
+            | Coordination.Online.Pending
+            | Coordination.Online.Rejected_unsafe _ -> ())
+          queries)
+  in
+  Printf.printf
+    "  online (%3d submits):   %10.3f ms   (%d queries satisfied, %d pending)\n"
+    n online_ms !fired
+    (Coordination.Online.pending_count engine)
+
+let run_all ?(fast = false) () =
+  if fast then begin
+    evaluator ~rows:1_000 ();
+    preprocess ~rows:5_000 ~n:15 ();
+    selection ~rows:5_000 ~n:20 ();
+    minimize ~rows:5_000 ~n:12 ();
+    realistic ~rows:100 ~users:20 ();
+    parallel ~rows:150 ~users:40 ();
+    online ~rows:5_000 ~n:20 ()
+  end
+  else begin
+    evaluator ();
+    preprocess ();
+    selection ();
+    minimize ();
+    realistic ();
+    parallel ();
+    online ()
+  end

@@ -1,0 +1,76 @@
+(* Benchmark driver.
+
+   With no arguments, regenerates every figure of the paper's evaluation
+   (Figures 4-8), runs the ablation studies, and finishes with quick
+   Bechamel micro-benchmarks.  Individual pieces:
+
+     dune exec bench/main.exe -- --figure 4
+     dune exec bench/main.exe -- --ablation evaluator
+     dune exec bench/main.exe -- --bechamel
+     dune exec bench/main.exe -- --fast        (reduced sizes, for CI) *)
+
+let usage =
+  "main.exe [--fast] [--figure N]... [--ablation \
+   evaluator|preprocess|selection]... [--bechamel] [--figures-only]"
+
+let () =
+  let figures = ref [] in
+  let ablations = ref [] in
+  let bechamel_only = ref false in
+  let figures_only = ref false in
+  let fast = ref false in
+  let spec =
+    [
+      ("--figure", Arg.Int (fun n -> figures := n :: !figures),
+       "N  run only figure N (4..8); repeatable");
+      ("--ablation", Arg.String (fun s -> ablations := s :: !ablations),
+       "NAME  run only this ablation (evaluator|preprocess|selection)");
+      ("--bechamel", Arg.Set bechamel_only, " run only the micro-benchmarks");
+      ("--figures-only", Arg.Set figures_only, " skip ablations and bechamel");
+      ("--fast", Arg.Set fast, " reduced sizes (CI-friendly)");
+      ("--csv", Arg.String (fun d -> Figures.csv_dir := Some d),
+       "DIR  also write each figure's series to DIR/fig<N>.csv");
+      ("--probe-latency-ms",
+       Arg.Float (fun x -> Figures.probe_latency_s := x /. 1000.0),
+       "MS  emulate a per-probe client-server round trip of MS \
+        milliseconds (the paper's MySQL/JDBC regime)");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let fast = !fast in
+  let ran_something = ref false in
+  List.iter
+    (fun n ->
+      ran_something := true;
+      match n with
+      | 4 -> if fast then Figures.figure4 ~rows:10_000 ~sizes:[ 10; 30; 50 ] () else Figures.figure4 ()
+      | 5 -> if fast then Figures.figure5 ~rows:10_000 ~seeds:3 ~sizes:[ 10; 30; 50 ] () else Figures.figure5 ()
+      | 6 -> if fast then Figures.figure6 ~seeds:3 ~sizes:[ 100; 300 ] () else Figures.figure6 ()
+      | 7 -> if fast then Figures.figure7 ~sizes:[ 100; 300 ] () else Figures.figure7 ()
+      | 8 -> if fast then Figures.figure8 ~sizes:[ 10; 30; 50 ] () else Figures.figure8 ()
+      | n -> Printf.eprintf "no figure %d (the paper has figures 4-8)\n" n)
+    (List.rev !figures);
+  List.iter
+    (fun name ->
+      ran_something := true;
+      match name with
+      | "evaluator" -> Ablations.evaluator ()
+      | "preprocess" -> Ablations.preprocess ()
+      | "selection" -> Ablations.selection ()
+      | "minimize" -> Ablations.minimize ()
+      | "realistic" -> Ablations.realistic ()
+      | "parallel" -> Ablations.parallel ()
+      | "online" -> Ablations.online ()
+      | s -> Printf.eprintf "unknown ablation %s\n" s)
+    (List.rev !ablations);
+  if !bechamel_only then begin
+    ran_something := true;
+    Micro.run_all ()
+  end;
+  if not !ran_something then begin
+    Figures.run_all ~fast ();
+    if not !figures_only then begin
+      Ablations.run_all ~fast ();
+      Micro.run_all ()
+    end
+  end

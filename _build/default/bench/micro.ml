@@ -1,0 +1,75 @@
+(* Bechamel micro-benchmarks: one Test.make per figure of the paper, at a
+   representative size, so regressions in the hot paths show up in CI
+   without running the full sweeps. *)
+
+open Bechamel
+open Toolkit
+
+let fig4_test =
+  let db = Relational.Database.create () in
+  ignore (Workload.Social.install_posts ~rows:10_000 db);
+  let rng = Prng.create 1 in
+  let queries = Workload.Listgen.queries rng ~n:50 in
+  Test.make ~name:"fig4/list-chain-50"
+    (Staged.stage (fun () ->
+         ignore (Coordination.Scc_algo.solve db queries)))
+
+let fig5_test =
+  let db = Relational.Database.create () in
+  ignore (Workload.Social.install_posts ~rows:10_000 db);
+  let rng = Prng.create 2 in
+  let g = Workload.Scale_free.generate rng ~nodes:50 ~edges_per_node:2 in
+  let queries = Workload.Netgen.queries_of_graph rng g in
+  Test.make ~name:"fig5/scale-free-50"
+    (Staged.stage (fun () ->
+         ignore (Coordination.Scc_algo.solve db queries)))
+
+let fig6_test =
+  let db = Relational.Database.create () in
+  ignore (Workload.Social.install_posts ~rows:1_000 db);
+  let rng = Prng.create 3 in
+  let g = Workload.Scale_free.generate rng ~nodes:300 ~edges_per_node:2 in
+  let queries = Workload.Netgen.queries_of_graph rng g in
+  Test.make ~name:"fig6/graph-only-300"
+    (Staged.stage (fun () ->
+         ignore (Coordination.Scc_algo.solve ~graph_only:true db queries)))
+
+let fig7_test =
+  let db, queries = Workload.Flights.make_worst_case ~rows:300 ~users:50 in
+  Test.make ~name:"fig7/consistent-300-values"
+    (Staged.stage (fun () ->
+         ignore (Coordination.Consistent.solve db Workload.Flights.config queries)))
+
+let fig8_test =
+  let db, queries = Workload.Flights.make_worst_case ~rows:100 ~users:50 in
+  Test.make ~name:"fig8/consistent-50-queries"
+    (Staged.stage (fun () ->
+         ignore (Coordination.Consistent.solve db Workload.Flights.config queries)))
+
+let tests = [ fig4_test; fig5_test; fig6_test; fig7_test; fig8_test ]
+
+let run_all () =
+  Printf.printf "\n== Bechamel micro-benchmarks (one per figure) ==\n%!";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols (Instance.monotonic_clock) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            Printf.printf "  %-28s %12.3f us/run  (r2=%s)\n" name (est /. 1e3)
+              (match Analyze.OLS.r_square ols_result with
+              | Some r2 -> Printf.sprintf "%.4f" r2
+              | None -> "n/a")
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
+        analysis)
+    tests;
+  Printf.printf "%!"

@@ -1,0 +1,399 @@
+(* The `entangle` command-line tool.
+
+   entangle solve FILE      evaluate an entangled-query program
+   entangle check FILE      classify a program (safety, uniqueness, ...)
+   entangle generate ...    emit workload programs for experimentation *)
+
+open Cmdliner
+open Relational
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s =
+    try really_input_string ic (in_channel_length ic)
+    with e ->
+      close_in ic;
+      raise e
+  in
+  close_in ic;
+  s
+
+let load path =
+  let program = Entangled.Parser.parse_program (read_file path) in
+  let db = Database.create () in
+  let queries = Entangled.Parser.load_program db program in
+  (db, queries)
+
+let handle_syntax f =
+  try f () with
+  | Entangled.Parser.Syntax_error (line, msg) ->
+    Printf.eprintf "syntax error on line %d: %s\n" line msg;
+    exit 2
+  | Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
+(* ------------------------------ solve ----------------------------- *)
+
+type algorithm = Scc | Gupta | Single_connected | Brute
+
+let algorithm_conv =
+  let parse = function
+    | "scc" -> Ok Scc
+    | "gupta" -> Ok Gupta
+    | "single-connected" -> Ok Single_connected
+    | "brute" -> Ok Brute
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Scc -> "scc"
+      | Gupta -> "gupta"
+      | Single_connected -> "single-connected"
+      | Brute -> "brute")
+  in
+  Arg.conv (parse, print)
+
+let print_solution db queries solution stats show_stats =
+  match solution with
+  | None ->
+    print_endline "no coordinating set exists";
+    if show_stats then Format.printf "stats: %a@." Coordination.Stats.pp stats
+  | Some s ->
+    Format.printf "%a@." (Entangled.Solution.pp queries) s;
+    (match Entangled.Solution.validate db queries s with
+    | Ok () -> ()
+    | Error m -> Format.printf "WARNING: solution failed validation: %s@." m);
+    if show_stats then Format.printf "stats: %a@." Coordination.Stats.pp stats
+
+let solve_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let algorithm =
+    Arg.(
+      value
+      & opt algorithm_conv Scc
+      & info [ "a"; "algorithm" ] ~docv:"ALGO"
+          ~doc:
+            "Evaluation algorithm: $(b,scc) (Section 4, safe sets), \
+             $(b,gupta) (baseline, safe+unique), $(b,single-connected) \
+             (Theorem 3) or $(b,brute) (exact, tiny inputs only).")
+  in
+  let first =
+    Arg.(
+      value & flag
+      & info [ "first" ]
+          ~doc:"Return the first coordinating set found instead of a largest one.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print probe counts and timings.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"PATH"
+          ~doc:"Write the coordination graph in Graphviz DOT format to $(docv).")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print a step-by-step trace of the SCC algorithm, including \
+             the SQL each candidate set sends to the database.")
+  in
+  let run file algorithm first stats dot explain =
+    handle_syntax @@ fun () ->
+    let db, input = load file in
+    if explain then begin
+      (match Coordination.Explain.trace db input with
+      | Error (Coordination.Scc_algo.Not_safe ws) ->
+        Printf.eprintf "the query set is not safe (%d ambiguous postconditions)\n"
+          (List.length ws);
+        exit 1
+      | Ok report -> Format.printf "%a@." (Coordination.Explain.pp db) report);
+      exit 0
+    end;
+    let write_dot queries (graph : Entangled.Coordination_graph.t) highlight =
+      match dot with
+      | None -> ()
+      | Some path ->
+        Graphs.Dot.to_file
+          ~label:(fun i -> queries.(i).Entangled.Query.name)
+          ~highlight graph.graph ~path
+    in
+    match algorithm with
+    | Scc -> (
+      let selection =
+        if first then Coordination.Scc_algo.First_found
+        else Coordination.Scc_algo.Largest
+      in
+      match Coordination.Scc_algo.solve ~selection db input with
+      | Error (Coordination.Scc_algo.Not_safe ws) ->
+        Printf.eprintf
+          "the query set is not safe (%d ambiguous postconditions); try the \
+           consistent-coordination API or `--algorithm brute`\n"
+          (List.length ws);
+        exit 1
+      | Ok outcome ->
+        let in_solution i =
+          match outcome.solution with
+          | Some s -> List.mem i s.members
+          | None -> false
+        in
+        write_dot outcome.queries outcome.graph in_solution;
+        print_solution db outcome.queries outcome.solution outcome.stats stats)
+    | Gupta -> (
+      match Coordination.Gupta.solve db input with
+      | Error e ->
+        Format.eprintf "baseline not applicable: %a@."
+          (Coordination.Gupta.pp_error (Entangled.Query.rename_set input))
+          e;
+        exit 1
+      | Ok outcome ->
+        print_solution db outcome.queries outcome.solution outcome.stats stats)
+    | Single_connected -> (
+      match Coordination.Single_connected.solve db input with
+      | Error e ->
+        Format.eprintf "not single-connected: %a@."
+          (Coordination.Single_connected.pp_error (Entangled.Query.rename_set input))
+          e;
+        exit 1
+      | Ok outcome ->
+        print_solution db outcome.queries outcome.solution outcome.stats stats)
+    | Brute -> (
+      let queries = Entangled.Query.rename_set input in
+      if Array.length queries > Coordination.Brute.max_queries then begin
+        Printf.eprintf "brute force is limited to %d queries\n"
+          Coordination.Brute.max_queries;
+        exit 1
+      end;
+      match Coordination.Brute.maximum db queries with
+      | None -> print_endline "no coordinating set exists"
+      | Some s -> (
+        Format.printf "%a@." (Entangled.Solution.pp queries) s;
+        match Entangled.Solution.validate db queries s with
+        | Ok () -> ()
+        | Error m -> Format.printf "WARNING: validation failed: %s@." m))
+  in
+  let doc = "Find a coordinating set for an entangled-query program." in
+  Cmd.v
+    (Cmd.info "solve" ~doc)
+    Cmdliner.Term.(const run $ file $ algorithm $ first $ stats $ dot $ explain)
+
+(* ------------------------------ check ----------------------------- *)
+
+let check_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    handle_syntax @@ fun () ->
+    let db, input = load file in
+    let queries = Entangled.Query.rename_set input in
+    Printf.printf "queries:    %d\n" (Array.length queries);
+    Printf.printf "database:   %d relations, %d tuples\n"
+      (List.length (Database.relations db))
+      (Database.total_tuples db);
+    Array.iter
+      (fun q ->
+        match Entangled.Query.well_formed db q with
+        | Ok () -> ()
+        | Error m -> Printf.printf "ill-formed %s: %s\n" q.Entangled.Query.name m)
+      queries;
+    let graph = Entangled.Coordination_graph.build queries in
+    Printf.printf "graph:      %d edges (%d extended)\n"
+      (Graphs.Digraph.edge_count graph.graph)
+      (List.length graph.extended);
+    let class_name =
+      match Entangled.Safety.classify graph with
+      | `Safe_unique -> "safe and unique (gupta, scc)"
+      | `Safe -> "safe, not unique (scc)"
+      | `Unsafe -> "unsafe (consistent-coordination API or brute)"
+    in
+    Printf.printf "class:      %s\n" class_name;
+    (match Coordination.Single_connected.check graph with
+    | Ok () -> Printf.printf "            also single-connected (Theorem 3)\n"
+    | Error _ -> ());
+    let scc = Graphs.Scc.compute graph.graph in
+    Printf.printf "components: %d SCCs, largest %d\n" scc.count
+      (Array.fold_left (fun m ms -> max m (List.length ms)) 0 scc.members)
+  in
+  let doc = "Parse a program and report safety, uniqueness and graph shape." in
+  Cmd.v (Cmd.info "check" ~doc) Cmdliner.Term.(const run $ file)
+
+(* ----------------------------- generate --------------------------- *)
+
+let emit_program db queries =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      let schema = Relation.schema r in
+      Buffer.add_string buf
+        (Printf.sprintf "table %s(%s).\n" (Schema.name schema)
+           (String.concat ", " (Array.to_list (Schema.attributes schema))));
+      Relation.iter
+        (fun t ->
+          Buffer.add_string buf
+            (Printf.sprintf "fact %s(%s).\n" (Schema.name schema)
+               (String.concat ", "
+                  (Array.to_list
+                     (Array.map Entangled.Parser.value_to_syntax t)))))
+        r)
+    (Database.relations db);
+  List.iter
+    (fun q ->
+      Buffer.add_string buf (Entangled.Parser.query_to_string q);
+      Buffer.add_char buf '\n')
+    queries;
+  print_string (Buffer.contents buf)
+
+let generate_cmd =
+  let shape =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("list", `List); ("scale-free", `Scale_free) ])) None
+      & info [] ~docv:"SHAPE" ~doc:"Workload shape: $(b,list) or $(b,scale-free).")
+  in
+  let n =
+    Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Number of queries.")
+  in
+  let rows =
+    Arg.(
+      value & opt int 200
+      & info [ "rows" ] ~docv:"ROWS" ~doc:"Size of the Posts table.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let run shape n rows seed =
+    let topics = min 100 rows in
+    match shape with
+    | `List ->
+      let db, queries = Workload.Listgen.make ~rows ~topics ~seed n in
+      emit_program db queries
+    | `Scale_free ->
+      let db, queries, _ = Workload.Netgen.make ~rows ~topics ~seed n in
+      emit_program db queries
+  in
+  let doc = "Emit a runnable workload program (facts + queries) to stdout." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Cmdliner.Term.(const run $ shape $ n $ rows $ seed)
+
+(* ------------------------------- repl ----------------------------- *)
+
+(* An interactive coordination server in miniature: facts update the
+   database, queries stream into the online engine, coordinating sets
+   fire as soon as they exist (Sections 6.1 and 7). *)
+let repl_help =
+  {|statements end with '.':
+  table F(a, b).           declare a relation
+  fact F(1, X).            insert a tuple
+  query n: {P} H :- B.     submit an entangled query
+directives:
+  \pending                 list waiting queries
+  \flush                   evaluate all pending components
+  \stats                   cumulative solver statistics
+  \db                      database summary
+  \help                    this message
+  \quit                    leave|}
+
+let repl_cmd =
+  let consume =
+    Arg.(
+      value & flag
+      & info [ "consume" ]
+          ~doc:"Coordinated sets book their tuples: matched rows are deleted.")
+  in
+  let run consume =
+    let db = Database.create () in
+    let engine = Coordination.Online.create ~consume db in
+    let report_fired (c : Coordination.Online.coordinated) =
+      Printf.printf "coordinated: {%s}\n"
+        (String.concat ", "
+           (List.map (fun q -> q.Entangled.Query.name) c.queries))
+    in
+    let handle_statement stmt =
+      match stmt with
+      | Entangled.Parser.Table (name, attrs) ->
+        ignore (Database.create_table' db name attrs);
+        Printf.printf "table %s created\n" name
+      | Entangled.Parser.Fact (rel, values) -> (
+        match Database.relation_opt db rel with
+        | None -> Printf.printf "error: no table %s\n" rel
+        | Some _ -> Database.insert db rel values)
+      | Entangled.Parser.Query_stmt q -> (
+        match Coordination.Online.submit engine q with
+        | Coordination.Online.Coordinated c -> report_fired c
+        | Coordination.Online.Pending ->
+          Printf.printf "pending: %s\n"
+            (if q.Entangled.Query.name = "" then "(unnamed)"
+             else q.Entangled.Query.name)
+        | Coordination.Online.Rejected_unsafe ws ->
+          Printf.printf "rejected: submission makes the pool unsafe (%d \
+                         ambiguous postconditions)\n"
+            (List.length ws))
+    in
+    let handle_directive line =
+      match String.trim line with
+      | "\\pending" ->
+        let names =
+          List.map
+            (fun q -> q.Entangled.Query.name)
+            (Coordination.Online.pending engine)
+        in
+        Printf.printf "pending (%d): %s\n" (List.length names)
+          (String.concat ", " names)
+      | "\\flush" ->
+        let fired = Coordination.Online.flush engine in
+        List.iter report_fired fired;
+        if fired = [] then Printf.printf "nothing fired\n"
+      | "\\stats" ->
+        Format.printf "%a (lifetime: %d coordinated)@." Coordination.Stats.pp
+          (Coordination.Online.stats engine)
+          (Coordination.Online.total_coordinated engine)
+      | "\\db" -> Format.printf "%a@." Database.pp db
+      | "\\help" -> print_endline repl_help
+      | "\\quit" -> raise Exit
+      | other -> Printf.printf "unknown directive %s (try \\help)\n" other
+    in
+    let buffer = Buffer.create 256 in
+    (try
+       while true do
+         let line = input_line stdin in
+         let trimmed = String.trim line in
+         if String.length trimmed > 0 && trimmed.[0] = '\\' then
+           handle_directive trimmed
+         else begin
+           Buffer.add_string buffer line;
+           Buffer.add_char buffer '\n';
+           (* A statement is complete when the buffer ends with '.'
+              (ignoring trailing whitespace). *)
+           let contents = String.trim (Buffer.contents buffer) in
+           if String.length contents > 0
+              && contents.[String.length contents - 1] = '.'
+           then begin
+             Buffer.clear buffer;
+             try
+               List.iter handle_statement
+                 (Entangled.Parser.parse_program contents)
+             with
+             | Entangled.Parser.Syntax_error (l, m) ->
+               Printf.printf "syntax error (line %d): %s\n" l m
+             | Invalid_argument m -> Printf.printf "error: %s\n" m
+           end
+         end
+       done
+     with End_of_file | Exit -> ());
+    Printf.printf "bye: %d queries coordinated, %d still pending\n"
+      (Coordination.Online.total_coordinated engine)
+      (Coordination.Online.pending_count engine)
+  in
+  let doc =
+    "Interactive coordination server: facts and queries stream in, \
+     coordinating sets fire as soon as they exist."
+  in
+  Cmd.v (Cmd.info "repl" ~doc) Cmdliner.Term.(const run $ consume)
+
+let () =
+  let doc = "data-driven coordination with entangled queries" in
+  let info = Cmd.info "entangle" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ solve_cmd; check_cmd; generate_cmd; repl_cmd ]))

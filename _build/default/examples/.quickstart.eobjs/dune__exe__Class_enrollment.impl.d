@@ -1,0 +1,1 @@
+examples/class_enrollment.ml: Array Coordination Database Entangled Format List Relation Relational Schema String Value

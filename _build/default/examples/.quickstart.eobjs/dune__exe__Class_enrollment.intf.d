@@ -1,0 +1,1 @@
+examples/class_enrollment.mli:

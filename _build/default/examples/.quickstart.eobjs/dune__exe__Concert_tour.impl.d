@@ -1,0 +1,1 @@
+examples/concert_tour.ml: Array Coordination Database Entangled Format List Relation Relational Value Workload

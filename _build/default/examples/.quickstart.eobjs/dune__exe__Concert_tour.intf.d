@@ -1,0 +1,1 @@
+examples/concert_tour.mli:

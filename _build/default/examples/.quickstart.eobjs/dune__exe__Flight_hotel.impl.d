@@ -1,0 +1,1 @@
+examples/flight_hotel.ml: Array Coordination Coordination_graph Database Entangled Format Graphs List Parser Query Relational Safety Solution String

@@ -1,0 +1,1 @@
+examples/movie_night.ml: Array Coordination Entangled Format List Relational String Tuple Value Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Coordination Entangled Format List Relational

@@ -1,0 +1,1 @@
+examples/sat_hardness.ml: Array Coordination Entangled Format Sat

@@ -1,0 +1,1 @@
+examples/war_council.ml: Array Coordination Entangled Format Graphs List Relational String

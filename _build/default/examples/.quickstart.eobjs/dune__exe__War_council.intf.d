@@ -1,0 +1,1 @@
+examples/war_council.mli:

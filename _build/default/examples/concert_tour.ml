@@ -1,0 +1,83 @@
+(* Example 2 of the paper: Coldplay fans scattered around the world each
+   want to fly to some concert with at least one friend.  They coordinate
+   on the flight's destination AND day (two coordination attributes);
+   airline and origin are personal, and some fans pin a specific
+   destination.  The schema is the Figures-7/8 flights schema. *)
+
+open Relational
+module Cquery = Coordination.Consistent_query
+
+let v = Value.str
+
+let () =
+  let db = Database.create () in
+  let flights = Database.create_table db Workload.Flights.flights_schema in
+  (* fid, dest, day, src, airline.  The tour visits three cities on
+     different days; fans fly in from several origins. *)
+  List.iteri
+    (fun i (dest, day, src, airline) ->
+      ignore
+        (Relation.insert flights
+           [| Value.Int (100 + i); v dest; v day; v src; v airline |]))
+    [
+      ("Zurich", "Jun1", "NYC", "Swiss");
+      ("Zurich", "Jun1", "London", "BA");
+      ("Zurich", "Jun1", "Tokyo", "ANA");
+      ("Paris", "Jun4", "NYC", "AF");
+      ("Paris", "Jun4", "London", "BA");
+      ("Madrid", "Jun7", "NYC", "Iberia");
+    ];
+  let friends = Database.create_table' db "Friends" [ "user"; "friend" ] in
+  List.iter
+    (fun (a, b) ->
+      ignore (Relation.insert friends [| v a; v b |]);
+      ignore (Relation.insert friends [| v b; v a |]))
+    [ ("ana", "bob"); ("bob", "cleo"); ("cleo", "dan"); ("dan", "ana") ];
+
+  let config = Workload.Flights.config in
+  let fan user ~dest ~src =
+    let dest = match dest with Some d -> Cquery.Exact (v d) | None -> Cquery.Any in
+    let src = match src with Some s -> Cquery.Exact (v s) | None -> Cquery.Any in
+    Cquery.make config ~user:(v user)
+      ~own:[ dest; Cquery.Any; src; Cquery.Any ]
+      ~partners:[ Cquery.Any_friend ]
+  in
+  let queries =
+    [
+      fan "ana" ~dest:None ~src:(Some "NYC");
+      fan "bob" ~dest:None ~src:(Some "London");
+      fan "cleo" ~dest:(Some "Zurich") ~src:(Some "Tokyo");
+      fan "dan" ~dest:(Some "Madrid") ~src:(Some "NYC");
+    ]
+  in
+  Format.printf "Fans:@.";
+  List.iter (fun q -> Format.printf "%a@." (Cquery.pp config) q) queries;
+
+  match Coordination.Consistent.solve db config queries with
+  | Error e -> Format.printf "error: %a@." Coordination.Consistent.pp_error e
+  | Ok outcome ->
+    Format.printf "@.Candidate (destination, day) values and surviving fans:@.";
+    List.iter
+      (fun (value, size) ->
+        Format.printf "  (%s, %s) -> %d fan(s)@."
+          (Value.to_string value.(0))
+          (Value.to_string value.(1))
+          size)
+      outcome.candidates;
+    (match outcome.chosen_value with
+    | None -> Format.printf "@.Nobody can coordinate.@."
+    | Some value ->
+      Format.printf "@.Chosen concert: %s on %s.  Flights:@."
+        (Value.to_string value.(0))
+        (Value.to_string value.(1));
+      List.iter
+        (fun (user, fid) ->
+          Format.printf "  %-5s books flight %s@." (Value.to_string user)
+            (Value.to_string fid))
+        outcome.choices);
+    match Coordination.Consistent.to_solution db outcome with
+    | None -> ()
+    | Some (compiled, solution) -> (
+      match Entangled.Solution.validate db compiled solution with
+      | Ok () -> Format.printf "Validated against Definition 1.@."
+      | Error m -> Format.printf "VALIDATION FAILED: %s@." m)

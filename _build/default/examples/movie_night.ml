@@ -1,0 +1,61 @@
+(* The movie-night example of Section 5: an UNSAFE query set (each fan's
+   friend variable can unify with several heads) solved by the Consistent
+   Coordination Algorithm, coordinating on the cinema attribute. *)
+
+open Relational
+module Cquery = Coordination.Consistent_query
+
+let name_of v = Value.to_string v
+
+let () =
+  let db, queries = Workload.Movies.make () in
+  let config = Workload.Movies.config in
+
+  Format.printf "The queries (typed, Section 5 form):@.";
+  List.iter (fun q -> Format.printf "%a@." (Cquery.pp config) q) queries;
+
+  (* Their compilation to general entangled queries is unsafe: *)
+  let compiled = Cquery.compile_set config queries in
+  let graph = Entangled.Coordination_graph.build compiled in
+  Format.printf "@.As general entangled queries the set is safe: %b@."
+    (Entangled.Safety.is_safe graph);
+
+  match Coordination.Consistent.solve db config queries with
+  | Error e -> Format.printf "error: %a@." Coordination.Consistent.pp_error e
+  | Ok outcome ->
+    Format.printf "@.Option lists V(q) (the paper's 'possible cinemas'):@.";
+    Array.iteri
+      (fun i opts ->
+        Format.printf "  %-6s: {%s}@."
+          (name_of outcome.queries.(i).Cquery.user)
+          (String.concat ", "
+             (List.map
+                (fun t -> Value.to_string t.(0))
+                (Tuple.Set.elements opts))))
+      outcome.options;
+
+    Format.printf "@.Surviving set size per candidate cinema:@.";
+    List.iter
+      (fun (v, size) ->
+        Format.printf "  %-10s -> %d member(s)@." (Value.to_string v.(0)) size)
+      outcome.candidates;
+
+    (match outcome.chosen_value with
+    | None -> Format.printf "@.No coordinating set.@."
+    | Some v ->
+      Format.printf "@.Chosen cinema: %s; moviegoers and their movie ids:@."
+        (Value.to_string v.(0));
+      List.iter
+        (fun (user, key) ->
+          Format.printf "  %-6s -> movie id %s@." (name_of user)
+            (Value.to_string key))
+        outcome.choices);
+
+    (* Cross-check in the general formalism. *)
+    (match Coordination.Consistent.to_solution db outcome with
+    | None -> ()
+    | Some (compiled, solution) -> (
+      match Entangled.Solution.validate db compiled solution with
+      | Ok () -> Format.printf "@.Validated against Definition 1.@."
+      | Error m -> Format.printf "@.VALIDATION FAILED: %s@." m));
+    Format.printf "Stats: %a@." Coordination.Stats.pp outcome.stats

@@ -1,0 +1,1 @@
+lib/coordination/brute.ml: Array Coordination_graph Cq Entangled Fun Ground Hashtbl Int List Option Printf Query Relational Solution Subst

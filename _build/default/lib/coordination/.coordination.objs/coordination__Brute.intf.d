@@ -1,0 +1,1 @@
+lib/coordination/brute.mli: Coordination_graph Database Entangled Eval Query Relational Solution

@@ -1,0 +1,1 @@
+lib/coordination/consistent.ml: Array Consistent_query Cq Database Entangled Eval Format Hashtbl Int64 List Option Printf Relation Relational Schema Stats String Term Tuple Value

@@ -1,0 +1,1 @@
+lib/coordination/consistent.mli: Consistent_query Database Entangled Format Relational Stats Tuple Value

@@ -1,0 +1,1 @@
+lib/coordination/consistent_query.ml: Array Cq Entangled Format Fun Int List Printf Query Relational Schema Term Value

@@ -1,0 +1,1 @@
+lib/coordination/consistent_query.mli: Entangled Format Query Relational Schema Value

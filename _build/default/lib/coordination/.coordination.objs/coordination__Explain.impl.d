@@ -1,0 +1,1 @@
+lib/coordination/explain.ml: Array Combine Entangled Format List Query Relational Scc_algo Solution Sqlgen Stats String

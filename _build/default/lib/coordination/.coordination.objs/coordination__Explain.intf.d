@@ -1,0 +1,1 @@
+lib/coordination/explain.mli: Database Entangled Format Query Relational Scc_algo

@@ -1,0 +1,1 @@
+lib/coordination/gupta.ml: Array Combine Coordination_graph Database Entangled Format Fun Ground Int64 List Query Relational Safety Solution Stats

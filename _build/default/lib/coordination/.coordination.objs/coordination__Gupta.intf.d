@@ -1,0 +1,1 @@
+lib/coordination/gupta.mli: Combine Database Entangled Format Query Relational Solution Stats

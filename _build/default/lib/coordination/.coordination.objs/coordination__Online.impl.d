@@ -1,0 +1,1 @@
+lib/coordination/online.ml: Array Coordination_graph Cq Database Entangled Eval Graphs Hashtbl Int Int64 List Query Relation Relational Scc_algo Solution Stats Term

@@ -1,0 +1,1 @@
+lib/coordination/online.mli: Database Entangled Eval Query Relational Scc_algo Stats

@@ -1,0 +1,1 @@
+lib/coordination/parallel.ml: Consistent Database Domain Int64 List Option Relational Stats

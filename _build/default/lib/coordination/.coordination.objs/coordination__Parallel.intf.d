@@ -1,0 +1,1 @@
+lib/coordination/parallel.mli: Consistent Consistent_query Database Relational

@@ -1,0 +1,1 @@
+lib/coordination/scc_algo.ml: Array Combine Coordination_graph Database Entangled Eval Fun Graphs Ground Hashtbl Int Int64 List Option Query Relational Solution Stats

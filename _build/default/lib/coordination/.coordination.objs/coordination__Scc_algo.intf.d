@@ -1,0 +1,1 @@
+lib/coordination/scc_algo.mli: Combine Coordination_graph Database Entangled Eval Query Relational Solution Stats

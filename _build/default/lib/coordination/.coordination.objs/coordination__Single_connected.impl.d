@@ -1,0 +1,1 @@
+lib/coordination/single_connected.ml: Array Coordination_graph Database Entangled Eval Format Graphs Ground Int Int64 List Option Query Relational Solution Stats Subst

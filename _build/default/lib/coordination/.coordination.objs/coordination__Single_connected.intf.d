@@ -1,0 +1,1 @@
+lib/coordination/single_connected.mli: Coordination_graph Database Entangled Format Query Relational Solution Stats

@@ -1,0 +1,1 @@
+lib/coordination/stats.ml: Format Int64 Printf Unix

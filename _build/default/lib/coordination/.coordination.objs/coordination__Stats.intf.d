@@ -1,0 +1,1 @@
+lib/coordination/stats.mli: Format

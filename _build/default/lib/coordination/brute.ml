@@ -1,0 +1,110 @@
+open Relational
+open Entangled
+
+let max_queries = 20
+
+let check_size n =
+  if n > max_queries then
+    invalid_arg
+      (Printf.sprintf "Brute: %d queries exceed the limit of %d" n max_queries)
+
+(* All (post, candidate-heads) obligations of a subset; [None] when some
+   postcondition has no candidate inside the subset. *)
+let obligations (graph : Coordination_graph.t) ~members =
+  let in_set = Hashtbl.create 16 in
+  List.iter (fun q -> Hashtbl.replace in_set q ()) members;
+  let exception No_candidate in
+  try
+    Some
+      (List.concat_map
+         (fun q ->
+           List.mapi
+             (fun pi (p : Cq.atom) ->
+               let targets =
+                 List.filter
+                   (fun (d, _) -> Hashtbl.mem in_set d)
+                   (Coordination_graph.post_targets graph ~src:q ~post_index:pi)
+               in
+               if targets = [] then raise No_candidate;
+               (q, p, targets))
+             graph.queries.(q).Query.post)
+         members)
+  with No_candidate -> None
+
+let solve_subset db (graph : Coordination_graph.t) ~members =
+  match obligations graph ~members with
+  | None -> None
+  | Some obligations ->
+    let queries = graph.queries in
+    let result = ref None in
+    let rec assign subst = function
+      | [] ->
+        (match Ground.solve db queries ~members subst with
+        | Some assignment -> result := Some assignment
+        | None -> ())
+      | (_, p, targets) :: rest ->
+        (* Distinct candidate heads often induce the same unifier (e.g.
+           ground gadget atoms); exploring duplicates multiplies the
+           search for nothing. *)
+        let tried = ref [] in
+        List.iter
+          (fun (d, hi) ->
+            if !result = None then
+              let h = List.nth queries.(d).Query.head hi in
+              match Subst.unify_atoms subst p h with
+              | None -> ()
+              | Some subst' ->
+                if not (List.exists (Subst.equal subst') !tried) then begin
+                  tried := subst' :: !tried;
+                  assign subst' rest
+                end)
+          targets
+    in
+    assign Subst.empty obligations;
+    !result
+
+let subsets_by_size n =
+  let masks = List.init ((1 lsl n) - 1) (fun i -> i + 1) in
+  let popcount m =
+    let rec loop m acc = if m = 0 then acc else loop (m lsr 1) (acc + (m land 1)) in
+    loop m 0
+  in
+  List.stable_sort (fun a b -> Int.compare (popcount a) (popcount b)) masks
+
+let members_of_mask n mask =
+  List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id)
+
+let exists_coordinating_set db queries =
+  let n = Array.length queries in
+  check_size n;
+  let graph = Coordination_graph.build queries in
+  List.exists
+    (fun mask ->
+      Option.is_some (solve_subset db graph ~members:(members_of_mask n mask)))
+    (subsets_by_size n)
+
+let maximum db queries =
+  let n = Array.length queries in
+  check_size n;
+  let graph = Coordination_graph.build queries in
+  let rec loop = function
+    | [] -> None
+    | mask :: rest -> (
+      let members = members_of_mask n mask in
+      match solve_subset db graph ~members with
+      | Some assignment -> Some (Solution.make ~members ~assignment)
+      | None -> loop rest)
+  in
+  loop (List.rev (subsets_by_size n))
+
+let all_coordinating_subsets db queries =
+  let n = Array.length queries in
+  check_size n;
+  let graph = Coordination_graph.build queries in
+  List.filter_map
+    (fun mask ->
+      let members = members_of_mask n mask in
+      match solve_subset db graph ~members with
+      | Some _ -> Some members
+      | None -> None)
+    (subsets_by_size n)

@@ -1,0 +1,33 @@
+(** Exact (exponential) search for coordinating sets.
+
+    Ground truth for tests and for the hardness reductions: enumerates
+    subsets of the query set and, within a subset, backtracks over which
+    head atom serves each postcondition (so it handles unsafe sets, which
+    the deterministic {!Entangled.Combine.unify_set} cannot).  Guarded to
+    small inputs. *)
+
+open Relational
+open Entangled
+
+val max_queries : int
+(** Inputs larger than this raise [Invalid_argument] (subset enumeration
+    is exponential). *)
+
+val solve_subset :
+  Database.t -> Coordination_graph.t -> members:int list -> Eval.valuation option
+(** Does this exact subset coordinate?  Tries every assignment of heads
+    to postconditions; on the first unifiable choice whose combined body
+    is satisfiable, returns the full Definition-1 assignment. *)
+
+val exists_coordinating_set : Database.t -> Query.t array -> bool
+(** Is there any non-empty coordinating subset?  The queries must be
+    renamed apart ({!Query.rename_set}). *)
+
+val maximum : Database.t -> Query.t array -> Solution.t option
+(** A maximum-size coordinating set, or [None] when no subset
+    coordinates.  This is the (NP-hard) EntangledMax problem of
+    Definition 5, solved exactly. *)
+
+val all_coordinating_subsets : Database.t -> Query.t array -> int list list
+(** Every coordinating subset (as sorted index lists), smallest first —
+    exhaustive, for property tests on tiny instances. *)

@@ -1,0 +1,203 @@
+open Relational
+open Entangled
+
+type config = {
+  s_schema : Schema.t;
+  friends : string;
+  answer : string;
+  coord_attrs : int list;
+}
+
+let attr_count config = Schema.arity config.s_schema - 1
+
+let make_config ~s_schema ~friends ~answer ~coord_attrs =
+  if Schema.arity s_schema < 2 then
+    invalid_arg "Consistent_query.make_config: S needs a key and >=1 attribute";
+  let d = Schema.arity s_schema - 1 in
+  let sorted = List.sort_uniq Int.compare coord_attrs in
+  if List.length sorted <> List.length coord_attrs then
+    invalid_arg "Consistent_query.make_config: duplicate coordination attribute";
+  List.iter
+    (fun j ->
+      if j < 0 || j >= d then
+        invalid_arg
+          (Printf.sprintf
+             "Consistent_query.make_config: attribute %d out of [0,%d)" j d))
+    sorted;
+  { s_schema; friends; answer; coord_attrs = sorted }
+
+type attr_spec =
+  | Exact of Value.t
+  | Any
+
+type partner_spec =
+  | Same
+  | Free
+  | Fixed of Value.t
+
+type partner =
+  | Named of Value.t
+  | Any_friend
+  | Any_from of string
+  | K_friends of int
+
+type t = {
+  user : Value.t;
+  own : attr_spec array;
+  partners : (partner * partner_spec array) list;
+}
+
+let check_own config own =
+  let d = attr_count config in
+  if Array.length own <> d then
+    invalid_arg
+      (Printf.sprintf "Consistent_query: own spec has %d entries, expected %d"
+         (Array.length own) d)
+
+let make config ~user ~own ~partners =
+  let own = Array.of_list own in
+  check_own config own;
+  let d = attr_count config in
+  let spec =
+    Array.init d (fun j -> if List.mem j config.coord_attrs then Same else Free)
+  in
+  { user; own; partners = List.map (fun p -> (p, Array.copy spec)) partners }
+
+let make_raw config ~user ~own ~partners =
+  let own = Array.of_list own in
+  check_own config own;
+  let d = attr_count config in
+  let partners =
+    List.map
+      (fun (p, spec) ->
+        let spec = Array.of_list spec in
+        if Array.length spec <> d then
+          invalid_arg "Consistent_query.make_raw: partner spec length";
+        (p, spec))
+      partners
+  in
+  { user; own; partners }
+
+let is_coordinating _config ~attrs q =
+  List.for_all
+    (fun j ->
+      List.for_all
+        (fun (_, spec) ->
+          match spec.(j) with
+          | Same -> true
+          | Fixed v -> (
+            match q.own.(j) with Exact v' -> Value.equal v v' | Any -> false)
+          | Free -> false)
+        q.partners)
+    attrs
+
+let is_non_coordinating _config ~attrs q =
+  List.for_all
+    (fun j -> List.for_all (fun (_, spec) -> spec.(j) = Free) q.partners)
+    attrs
+
+let is_consistent config q =
+  let d = attr_count config in
+  let complement =
+    List.filter (fun j -> not (List.mem j config.coord_attrs)) (List.init d Fun.id)
+  in
+  is_coordinating config ~attrs:config.coord_attrs q
+  && is_non_coordinating config ~attrs:complement q
+
+(* Variable-name conventions used by the compiled query (and relied upon
+   by Consistent.to_solution): own key "x", own attribute j "a<j>",
+   partner i's key "y<i>", partner i's free attribute j "b<i>_<j>",
+   partner i's friend variable "f<i>". *)
+let own_attr_term q j =
+  match q.own.(j) with
+  | Exact v -> Term.Const v
+  | Any -> Term.Var (Printf.sprintf "a%d" j)
+
+let expressible q =
+  List.for_all
+    (fun (p, _) -> match p with K_friends _ -> false | Named _ | Any_friend | Any_from _ -> true)
+    q.partners
+
+let to_entangled config q =
+  if not (expressible q) then
+    invalid_arg
+      "Consistent_query.to_entangled: k-of-friends coordination is not \
+       expressible as an entangled query (Section 5, Generalizations)";
+  let d = attr_count config in
+  let s_name = Schema.name config.s_schema in
+  let own_atom =
+    {
+      Cq.rel = s_name;
+      args =
+        Array.init (d + 1) (fun c ->
+            if c = 0 then Term.Var "x" else own_attr_term q (c - 1));
+    }
+  in
+  let posts = ref [] in
+  let partner_atoms = ref [] in
+  let friend_atoms = ref [] in
+  List.iteri
+    (fun i (p, spec) ->
+      let y = Term.Var (Printf.sprintf "y%d" i) in
+      let friend_var rel =
+        let f = Term.Var (Printf.sprintf "f%d" i) in
+        friend_atoms :=
+          { Cq.rel; args = [| Term.Const q.user; f |] } :: !friend_atoms;
+        f
+      in
+      let partner_term =
+        match p with
+        | Named c -> Term.Const c
+        | Any_friend -> friend_var config.friends
+        | Any_from rel -> friend_var rel
+        | K_friends _ -> assert false (* rejected by [expressible] above *)
+      in
+      posts := { Cq.rel = config.answer; args = [| y; partner_term |] } :: !posts;
+      let atom =
+        {
+          Cq.rel = s_name;
+          args =
+            Array.init (d + 1) (fun c ->
+                if c = 0 then y
+                else
+                  let j = c - 1 in
+                  match spec.(j) with
+                  | Same -> own_attr_term q j
+                  | Free -> Term.Var (Printf.sprintf "b%d_%d" i j)
+                  | Fixed v -> Term.Const v);
+        }
+      in
+      partner_atoms := atom :: !partner_atoms)
+    q.partners;
+  let head =
+    [ { Cq.rel = config.answer; args = [| Term.Var "x"; Term.Const q.user |] } ]
+  in
+  let body =
+    (own_atom :: List.rev !friend_atoms) @ List.rev !partner_atoms
+  in
+  Query.make
+    ~name:("u_" ^ Value.to_string q.user)
+    ~post:(List.rev !posts) ~head body
+
+let compile_set config qs =
+  Query.rename_set (List.map (to_entangled config) qs)
+
+let pp config ppf q =
+  Format.fprintf ppf "@[<v>user %a over %s:" Value.pp q.user
+    (Schema.name config.s_schema);
+  Array.iteri
+    (fun j spec ->
+      let attr = Schema.attribute config.s_schema (j + 1) in
+      match spec with
+      | Exact v -> Format.fprintf ppf "@,  %s = %a" attr Value.pp v
+      | Any -> Format.fprintf ppf "@,  %s = *" attr)
+    q.own;
+  List.iter
+    (fun (p, _) ->
+      match p with
+      | Named c -> Format.fprintf ppf "@,  with user %a" Value.pp c
+      | Any_friend -> Format.fprintf ppf "@,  with any friend"
+      | Any_from rel -> Format.fprintf ppf "@,  with anyone from %s" rel
+      | K_friends k -> Format.fprintf ppf "@,  with at least %d friends" k)
+    q.partners;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,99 @@
+(** The restricted query form of Section 5.
+
+    The database holds a "thing" relation [S] whose first column is a
+    unique key, the remaining [d] columns are attributes, and a binary
+    friendship relation [F].  A user asks for one [S]-tuple for herself
+    and one per coordination partner; partners are either named users or
+    "any of my friends" (the paper's friend variable [f1]).  Coordination
+    attributes [A] are those on which the user and all partners must
+    agree (Definitions 7–9). *)
+
+open Relational
+open Entangled
+
+type config = {
+  s_schema : Schema.t;    (** key first, then [d] attributes *)
+  friends : string;       (** binary friendship relation name *)
+  answer : string;        (** answer relation symbol, e.g. ["R"] *)
+  coord_attrs : int list; (** 0-based indices into the non-key attributes *)
+}
+
+val make_config :
+  s_schema:Schema.t -> friends:string -> answer:string -> coord_attrs:int list
+  -> config
+(** @raise Invalid_argument when [S] has arity < 2 or an index is out of
+    range or duplicated. *)
+
+val attr_count : config -> int
+(** [d], the number of non-key attributes of [S]. *)
+
+type attr_spec =
+  | Exact of Value.t  (** the user requires this constant *)
+  | Any               (** the paper's "don't care" *)
+
+type partner_spec =
+  | Same             (** shares the user's term for this attribute *)
+  | Free             (** a fresh variable, distinct from everything *)
+  | Fixed of Value.t (** the user constrains the partner's attribute *)
+
+type partner =
+  | Named of Value.t  (** a specific user *)
+  | Any_friend        (** any user related to me in the config's [F] *)
+  | Any_from of string
+      (** any user related to me in this other binary relation — the
+          "more than one binary relation" generalization of Section 5 *)
+  | K_friends of int
+      (** at least [k] distinct friends must coordinate — the Section 5
+          extension the paper notes is {e not expressible} in entangled
+          query syntax at all; consequently {!to_entangled} rejects it *)
+
+type t = {
+  user : Value.t;
+  own : attr_spec array;                     (** length [d] *)
+  partners : (partner * partner_spec array) list;
+}
+
+val make :
+  config -> user:Value.t -> own:attr_spec list -> partners:partner list -> t
+(** Builds an A-consistent query: every partner gets [Same] on the
+    coordination attributes and [Free] elsewhere.
+    @raise Invalid_argument when [own] has the wrong length. *)
+
+val make_raw :
+  config ->
+  user:Value.t ->
+  own:attr_spec list ->
+  partners:(partner * partner_spec list) list ->
+  t
+(** Fully explicit constructor — may produce non-consistent queries; used
+    by tests of Definitions 7–9 and by the Appendix B reduction. *)
+
+(** {2 Definitions 7–9} *)
+
+val is_coordinating : config -> attrs:int list -> t -> bool
+(** Definition 7 restricted to the given attributes: user and every
+    partner share the same constant or the same variable there. *)
+
+val is_non_coordinating : config -> attrs:int list -> t -> bool
+(** Definition 8: on the given attributes every partner entry is a fresh
+    distinct variable. *)
+
+val is_consistent : config -> t -> bool
+(** Definition 9: [coord_attrs]-coordinating and non-coordinating on the
+    complement. *)
+
+(** {2 Compilation to the general formalism} *)
+
+val expressible : t -> bool
+(** Whether the query stays inside the entangled-query formalism —
+    i.e. uses no [K_friends] partner. *)
+
+val to_entangled : config -> t -> Query.t
+(** The general entangled query of Section 5:
+    [{R(y1,p1), ..., R(yk,pk)} R(x, User) :- S(x, ...), F(User, f), S(y1, ...), ...].
+    @raise Invalid_argument on a [K_friends] partner (see {!expressible}). *)
+
+val compile_set : config -> t list -> Query.t array
+(** [to_entangled] on each query, renamed apart with {!Query.rename_set}. *)
+
+val pp : config -> Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+open Relational
+open Entangled
+
+type report = {
+  outcome : Scc_algo.outcome;
+  events : Scc_algo.event list;
+}
+
+let trace ?selection ?preprocess ?minimize db input =
+  let events = ref [] in
+  let observer e = events := e :: !events in
+  match Scc_algo.solve ?selection ?preprocess ?minimize ~observer db input with
+  | Error e -> Error e
+  | Ok outcome -> Ok { outcome; events = List.rev !events }
+
+let names (queries : Query.t array) is =
+  String.concat ", " (List.map (fun i -> queries.(i).Query.name) is)
+
+let pp_event db queries ppf (event : Scc_algo.event) =
+  match event with
+  | Scc_algo.Pruned dead ->
+    Format.fprintf ppf
+      "@[<v2>preprocessing dropped {%s}: unsatisfiable postconditions@]"
+      (names queries dead)
+  | Scc_algo.Skipped { component } ->
+    Format.fprintf ppf "component {%s}: skipped, a needed component failed"
+      (names queries component)
+  | Scc_algo.Unify_failed { component; failure } ->
+    Format.fprintf ppf "component {%s}: %a" (names queries component)
+      (Combine.pp_failure queries) failure
+  | Scc_algo.Probed { component; members; body; witness } ->
+    let sql =
+      try Sqlgen.exists db body
+      with Sqlgen.Cannot_render m -> "-- cannot render: " ^ m
+    in
+    Format.fprintf ppf
+      "@[<v2>component {%s}: candidate set {%s}@,%s@,=> %s@]"
+      (names queries component) (names queries members) sql
+      (match witness with
+      | Some _ -> "satisfiable: candidate recorded"
+      | None -> "unsatisfiable: candidate fails")
+
+let pp db ppf report =
+  let queries = report.outcome.Scc_algo.queries in
+  Format.fprintf ppf "@[<v>-- SCC coordination trace (%d queries) --"
+    (Array.length queries);
+  List.iter
+    (fun e -> Format.fprintf ppf "@,%a" (pp_event db queries) e)
+    report.events;
+  (match report.outcome.Scc_algo.solution with
+  | None -> Format.fprintf ppf "@,result: no coordinating set"
+  | Some s ->
+    Format.fprintf ppf "@,result: %a" (Solution.pp queries) s);
+  Format.fprintf ppf "@,%a@]" Stats.pp report.outcome.Scc_algo.stats

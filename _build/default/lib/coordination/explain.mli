@@ -1,0 +1,27 @@
+(** Human-readable execution traces of the SCC Coordination Algorithm.
+
+    Built from {!Scc_algo.solve}'s observer events; shows, per
+    condensation component, the candidate set [R(q)], the combined
+    conjunctive query rendered as the SQL the paper's implementation
+    would send to MySQL, and the outcome.  Exposed through
+    [entangle solve --explain]. *)
+
+open Relational
+open Entangled
+
+type report = {
+  outcome : Scc_algo.outcome;
+  events : Scc_algo.event list;  (** in execution order *)
+}
+
+val trace :
+  ?selection:Scc_algo.selection ->
+  ?preprocess:bool ->
+  ?minimize:bool ->
+  Database.t ->
+  Query.t list ->
+  (report, Scc_algo.error) result
+
+val pp : Database.t -> Format.formatter -> report -> unit
+(** Renders the pruning step, each component's fate (skipped, unifier
+    clash, SQL probe + satisfiable-or-not), and the chosen solution. *)

@@ -1,0 +1,64 @@
+open Relational
+open Entangled
+
+type error =
+  | Not_safe of (int * int) list
+  | Not_unique
+  | Unification_failed of Combine.failure
+
+let pp_error queries ppf = function
+  | Not_safe ws ->
+    Format.fprintf ppf "query set is not safe (%d unsafe postconditions)"
+      (List.length ws)
+  | Not_unique -> Format.fprintf ppf "query set is not unique"
+  | Unification_failed f ->
+    Format.fprintf ppf "unification failed: %a" (Combine.pp_failure queries) f
+
+type outcome = {
+  queries : Query.t array;
+  solution : Solution.t option;
+  stats : Stats.t;
+}
+
+let solve db input =
+  let stats = Stats.create () in
+  let t_start = Stats.now_ns () in
+  let queries = Query.rename_set input in
+  let probes0 = Database.probes db in
+  let finish result =
+    stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
+    stats.db_probes <- Database.probes db - probes0;
+    result
+  in
+  if Array.length queries = 0 then
+    finish (Ok { queries; solution = None; stats })
+  else
+  let graph, graph_ns = Stats.timed (fun () -> Coordination_graph.build queries) in
+  stats.graph_ns <- graph_ns;
+  match Safety.classify graph with
+  | `Unsafe -> finish (Error (Not_safe (Safety.unsafe_posts graph)))
+  | `Safe -> finish (Error Not_unique)
+  | `Safe_unique -> (
+    let members = List.init (Array.length queries) Fun.id in
+    let unified, unify_ns =
+      Stats.timed (fun () -> Combine.unify_set graph ~members)
+    in
+    stats.unify_ns <- unify_ns;
+    match unified with
+    | Error f -> finish (Error (Unification_failed f))
+    | Ok subst -> (
+      let witness, ground_ns =
+        Stats.timed (fun () -> Ground.solve db queries ~members subst)
+      in
+      stats.ground_ns <- ground_ns;
+      stats.candidates <- 1;
+      match witness with
+      | None -> finish (Ok { queries; solution = None; stats })
+      | Some assignment ->
+        finish
+          (Ok
+             {
+               queries;
+               solution = Some (Solution.make ~members ~assignment);
+               stats;
+             })))

@@ -1,0 +1,27 @@
+(** The baseline evaluation algorithm of Gupta et al. (SIGMOD 2011), as
+    summarised in Section 2.3 of the paper: applicable only to safe and
+    unique query sets, it unifies all queries into one combined query and
+    issues it to the database once. *)
+
+open Relational
+open Entangled
+
+type error =
+  | Not_safe of (int * int) list
+      (** witnesses: postconditions with several candidate heads *)
+  | Not_unique
+  | Unification_failed of Combine.failure
+
+val pp_error : Query.t array -> Format.formatter -> error -> unit
+
+type outcome = {
+  queries : Query.t array;  (** renamed-apart input queries *)
+  solution : Solution.t option;
+      (** the full set with a witness assignment, or [None] when the
+          combined query is unsatisfiable *)
+  stats : Stats.t;
+}
+
+val solve : Database.t -> Query.t list -> (outcome, error) result
+(** All-or-nothing semantics: under uniqueness the only possible
+    coordinating set is the full set. *)

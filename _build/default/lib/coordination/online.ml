@@ -1,0 +1,179 @@
+open Relational
+open Entangled
+
+type t = {
+  db : Database.t;
+  selection : Scc_algo.selection;
+  eager : bool;
+  consume : bool;
+  mutable pool : Query.t list;  (* reversed submission order *)
+  mutable satisfied : int;
+  stats : Stats.t;
+}
+
+type coordinated = {
+  queries : Query.t list;
+  assignment : Eval.valuation;
+}
+
+type submission =
+  | Coordinated of coordinated
+  | Pending
+  | Rejected_unsafe of (int * int) list
+
+let create ?(selection = Scc_algo.Largest) ?(eager = true) ?(consume = false) db =
+  {
+    db;
+    selection;
+    eager;
+    consume;
+    pool = [];
+    satisfied = 0;
+    stats = Stats.create ();
+  }
+
+let pending engine = List.rev engine.pool
+
+let pending_count engine = List.length engine.pool
+
+let total_coordinated engine = engine.satisfied
+
+let stats engine = engine.stats
+
+let accumulate (into : Stats.t) (from : Stats.t) =
+  into.db_probes <- into.db_probes + from.db_probes;
+  into.graph_ns <- Int64.add into.graph_ns from.graph_ns;
+  into.unify_ns <- Int64.add into.unify_ns from.unify_ns;
+  into.ground_ns <- Int64.add into.ground_ns from.ground_ns;
+  into.total_ns <- Int64.add into.total_ns from.total_ns;
+  into.candidates <- into.candidates + from.candidates;
+  into.cleaning_rounds <- into.cleaning_rounds + from.cleaning_rounds
+
+(* Weakly connected components of the pool's coordination graph, as
+   lists of pool positions (ascending). *)
+let components pool_array =
+  let renamed = Query.rename_set (Array.to_list pool_array) in
+  let graph = Coordination_graph.build renamed in
+  let n = Array.length pool_array in
+  let undirected = Graphs.Digraph.create n in
+  Graphs.Digraph.iter_edges
+    (fun u v ->
+      Graphs.Digraph.add_edge undirected u v;
+      Graphs.Digraph.add_edge undirected v u)
+    graph.graph;
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      let acc = ref [] in
+      let rec dfs u =
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          acc := u :: !acc;
+          List.iter dfs (Graphs.Digraph.successors undirected u)
+        end
+      in
+      dfs v;
+      comps := List.sort Int.compare !acc :: !comps
+    end
+  done;
+  List.rev !comps
+
+(* Book the grounded body tuples of a fired set: each tuple is one unit
+   of inventory. *)
+let consume_inventory db (queries : Query.t array) (solution : Solution.t) =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (a : Cq.atom) ->
+          let tuple =
+            Array.map
+              (function
+                | Term.Const v -> v
+                | Term.Var x -> Eval.Binding.find x solution.assignment)
+              a.args
+          in
+          match Database.relation_opt db a.rel with
+          | Some r -> ignore (Relation.delete r tuple)
+          | None -> ())
+        queries.(m).Query.body.Cq.atoms)
+    solution.members
+
+(* Evaluate one component (pool positions); on success remove members
+   from the pool and report them. *)
+let evaluate engine pool_array positions =
+  let input = List.map (fun i -> pool_array.(i)) positions in
+  match Scc_algo.solve ~selection:engine.selection engine.db input with
+  | Error (Scc_algo.Not_safe ws) -> Error ws
+  | Ok outcome -> (
+    accumulate engine.stats outcome.stats;
+    match outcome.solution with
+    | None -> Ok None
+    | Some solution ->
+      if engine.consume then
+        consume_inventory engine.db outcome.queries solution;
+      (* Map sub-list member indexes back to pool positions. *)
+      let position_of = Array.of_list positions in
+      let member_positions =
+        List.map (fun i -> position_of.(i)) solution.members
+      in
+      let member_set = Hashtbl.create 8 in
+      List.iter (fun p -> Hashtbl.replace member_set p ()) member_positions;
+      let satisfied_queries =
+        List.filteri (fun p _ -> Hashtbl.mem member_set p)
+          (Array.to_list pool_array)
+      in
+      let keep =
+        List.filteri (fun p _ -> not (Hashtbl.mem member_set p))
+          (Array.to_list pool_array)
+      in
+      engine.pool <- List.rev keep;
+      engine.satisfied <- engine.satisfied + List.length satisfied_queries;
+      Ok (Some { queries = satisfied_queries; assignment = solution.assignment }))
+
+let submit engine query =
+  engine.pool <- query :: engine.pool;
+  if not engine.eager then Pending
+  else begin
+    let pool_array = Array.of_list (pending engine) in
+    let new_position = Array.length pool_array - 1 in
+    let component =
+      List.find
+        (fun c -> List.mem new_position c)
+        (components pool_array)
+    in
+    match evaluate engine pool_array component with
+    | Error ws ->
+      (* Do not admit a query that makes its component unsafe. *)
+      engine.pool <- List.tl engine.pool;
+      Rejected_unsafe ws
+    | Ok None -> Pending
+    | Ok (Some c) -> Coordinated c
+  end
+
+let flush engine =
+  let results = ref [] in
+  let progress = ref true in
+  (* Re-evaluate until a fixpoint: removing one satisfied set can only
+     shrink components, and components that failed keep failing, so one
+     pass per fired set suffices. *)
+  while !progress do
+    progress := false;
+    let pool_array = Array.of_list (pending engine) in
+    if Array.length pool_array > 0 then begin
+      let comps = components pool_array in
+      (* Evaluate components against the current pool snapshot; stop at
+         the first fired set because positions shift afterwards. *)
+      let rec try_components = function
+        | [] -> ()
+        | c :: rest -> (
+          match evaluate engine pool_array c with
+          | Ok (Some fired) ->
+            results := fired :: !results;
+            progress := true
+          | Ok None | Error _ -> try_components rest)
+      in
+      try_components comps
+    end
+  done;
+  List.rev !results

@@ -1,0 +1,67 @@
+(** Online (incremental) coordination.
+
+    Section 6.1 describes how the SCC algorithm sits inside a running
+    system: "when a new query arrives, the system finds the set of
+    queries this query can coordinate with and updates the coordination
+    graph accordingly.  The system then calls an evaluation method on
+    the connected component that the query belongs to ... the system
+    then deletes these queries from its data structures and continues to
+    process the next query that arrives."  Section 7 asks for exactly
+    this online setting.  This module implements it.
+
+    An engine holds a pool of pending queries.  Submitting a query adds
+    it to the pool and (in eager mode) evaluates only the weakly
+    connected component of the coordination graph that contains it; a
+    found coordinating set is reported and its members leave the pool.
+    Deferred submissions accumulate until {!flush}, which evaluates
+    every component — useful for batching, and equivalent to one
+    {!Scc_algo.solve} per component. *)
+
+open Relational
+open Entangled
+
+type t
+
+val create :
+  ?selection:Scc_algo.selection ->
+  ?eager:bool ->
+  ?consume:bool ->
+  Database.t ->
+  t
+(** [eager] (default [true]): evaluate on every submission.  With
+    [eager:false], submissions only enqueue; call {!flush}.
+
+    [consume] (default [false]): when a set coordinates, delete the
+    grounded body tuples its members used from the database — each tuple
+    is one bookable unit (a flight seat block, a class section), so later
+    arrivals cannot coordinate on spent inventory. *)
+
+type coordinated = {
+  queries : Query.t list;        (** the satisfied queries, in pool order *)
+  assignment : Eval.valuation;
+      (** over the members' variables, renamed with the pool prefixes
+          used at evaluation time *)
+}
+
+type submission =
+  | Coordinated of coordinated  (** a set fired; its members left the pool *)
+  | Pending                      (** enqueued, waiting for partners *)
+  | Rejected_unsafe of (int * int) list
+      (** the component became unsafe; the new query was NOT admitted *)
+
+val submit : t -> Query.t -> submission
+
+val flush : t -> coordinated list
+(** Evaluate every weakly connected component of the pending pool;
+    satisfied sets leave the pool.  Returns them in discovery order. *)
+
+val pending : t -> Query.t list
+(** Queries still waiting, in submission order. *)
+
+val pending_count : t -> int
+
+val total_coordinated : t -> int
+(** Queries satisfied over the engine's lifetime. *)
+
+val stats : t -> Stats.t
+(** Cumulative solver statistics across all evaluations. *)

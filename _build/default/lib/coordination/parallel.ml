@@ -1,0 +1,81 @@
+open Relational
+
+(* Split [xs] into [k] contiguous chunks (some possibly empty). *)
+let chunk k xs =
+  let n = List.length xs in
+  let base = n / k and extra = n mod k in
+  let rec take m xs acc =
+    if m = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (m - 1) rest (x :: acc)
+  in
+  let rec go i xs acc =
+    if i = k then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let c, rest = take size xs [] in
+      go (i + 1) rest (c :: acc)
+  in
+  go 0 xs []
+
+let solve ?domains db config input =
+  let stats = Stats.create () in
+  let t_start = Stats.now_ns () in
+  let probes0 = Database.probes db in
+  let t_graph = Stats.now_ns () in
+  match Consistent.prepare db config input with
+  | Error e -> Error e
+  | Ok p ->
+    stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
+    let vs = Consistent.values p in
+    let requested =
+      match domains with
+      | Some d -> max 1 d
+      | None -> max 1 (Domain.recommended_domain_count ())
+    in
+    let k = max 1 (min requested (List.length vs)) in
+    (* Each chunk returns its candidates (in order) and cleaning-round
+       total; survivors is pure, so domains share [p] read-only. *)
+    let work chunk () =
+      List.map
+        (fun v ->
+          let members, rounds = Consistent.survivors p v in
+          (v, members, rounds))
+        chunk
+    in
+    let t_loop = Stats.now_ns () in
+    let results =
+      match chunk k vs with
+      | [] -> []
+      | first :: rest ->
+        let handles = List.map (fun c -> Domain.spawn (work c)) rest in
+        let mine = work first () in
+        mine :: List.map Domain.join handles
+    in
+    stats.unify_ns <- Int64.sub (Stats.now_ns ()) t_loop;
+    let flat = List.concat results in
+    let candidates =
+      List.map (fun (v, members, _) -> (v, List.length members)) flat
+    in
+    List.iter
+      (fun (_, _, rounds) ->
+        stats.cleaning_rounds <- stats.cleaning_rounds + rounds)
+      flat;
+    stats.candidates <- List.length flat;
+    let best =
+      List.fold_left
+        (fun best (v, members, _) ->
+          let size = List.length members in
+          match best with
+          | Some (_, _, best_size) when best_size >= size -> best
+          | _ when size > 0 -> Some (v, members, size)
+          | _ -> best)
+        None flat
+      |> Option.map (fun (v, members, _) -> (v, members))
+    in
+    let outcome = Consistent.finalize db p ~candidates ~best stats in
+    outcome.stats.Stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
+    outcome.stats.Stats.db_probes <- Database.probes db - probes0;
+    Ok outcome

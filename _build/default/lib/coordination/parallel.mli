@@ -1,0 +1,27 @@
+(** Parallel Consistent Coordination.
+
+    Section 6.2 closes: "our implementation does not use any
+    parallelism, although our algorithm naturally breaks into parallel
+    processes, where each possible value can be easily checked
+    independently ... we leave this enhancement open for future work."
+    This module is that enhancement: the per-value cleaning kernel
+    ({!Consistent.survivors}) is pure, so the loop over [V(Q)] is split
+    across OCaml 5 domains.  Database work (option lists, pools, final
+    grounding) stays on the calling domain — the shared store is not
+    touched concurrently.
+
+    Results are identical to {!Consistent.solve} with [`Largest]
+    selection: candidates come back in the same deterministic value
+    order and ties break the same way. *)
+
+open Relational
+
+val solve :
+  ?domains:int ->
+  Database.t ->
+  Consistent_query.config ->
+  Consistent_query.t list ->
+  (Consistent.outcome, Consistent.error) result
+(** [domains] defaults to [Domain.recommended_domain_count ()], capped
+    at the number of values.  [domains = 1] degenerates to the
+    sequential loop. *)

@@ -1,0 +1,171 @@
+open Relational
+open Entangled
+
+type error = Not_safe of (int * int) list
+
+type candidate = {
+  covered : int list;
+  assignment : Eval.valuation;
+}
+
+type selection =
+  | Largest
+  | First_found
+  | Preferred of (Query.t array -> candidate -> int)
+
+type outcome = {
+  queries : Query.t array;
+  graph : Coordination_graph.t;
+  candidates : candidate list;
+  solution : Solution.t option;
+  stats : Stats.t;
+}
+
+type event =
+  | Pruned of int list
+  | Skipped of { component : int list }
+  | Unify_failed of { component : int list; failure : Combine.failure }
+  | Probed of {
+      component : int list;
+      members : int list;
+      body : Relational.Cq.t;
+      witness : Eval.valuation option;
+    }
+
+(* Safety restricted to live queries: a live postcondition atom must have
+   at most one live candidate head. *)
+let unsafe_posts_masked (graph : Coordination_graph.t) alive =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Coordination_graph.edge) ->
+      if alive.(e.src) && alive.(e.dst) then begin
+        let key = (e.src, e.post_index) in
+        Hashtbl.replace counts key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+      end)
+    graph.extended;
+  Hashtbl.fold (fun key c acc -> if c > 1 then key :: acc else acc) counts []
+  |> List.sort compare
+
+let select selection queries candidates =
+  let score =
+    match selection with
+    | Largest -> fun c -> List.length c.covered
+    | First_found -> fun _ -> 0
+    | Preferred f -> f queries
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest -> (
+    match selection with
+    | First_found -> Some first
+    | Largest | Preferred _ ->
+      let best =
+        List.fold_left
+          (fun best c -> if score c > score best then c else best)
+          first rest
+      in
+      Some best)
+
+let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
+    ?(minimize = false) ?observer db input =
+  let emit e = match observer with Some f -> f e | None -> () in
+  let stats = Stats.create () in
+  let t_start = Stats.now_ns () in
+  let probes0 = Database.probes db in
+  let queries = Query.rename_set input in
+  let n = Array.length queries in
+  let finish result =
+    stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
+    stats.db_probes <- Database.probes db - probes0;
+    result
+  in
+  (* Phase 1: graph construction, preprocessing, SCCs (Figure 6 measures
+     exactly this span). *)
+  let t_graph = Stats.now_ns () in
+  let graph = Coordination_graph.build queries in
+  let alive = Array.make n true in
+  if preprocess then begin
+    Coordination_graph.prune_unsatisfiable graph ~alive;
+    let dead =
+      List.filter (fun i -> not alive.(i)) (List.init n Fun.id)
+    in
+    if dead <> [] then emit (Pruned dead)
+  end;
+  let unsafe = unsafe_posts_masked graph alive in
+  if unsafe <> [] then begin
+    stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
+    finish (Error (Not_safe unsafe))
+  end
+  else begin
+    let scc = Graphs.Scc.compute_masked graph.graph ~alive:(fun v -> alive.(v)) in
+    let condensation = Graphs.Scc.condensation graph.graph scc in
+    stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
+    if graph_only then
+      finish (Ok { queries; graph; candidates = []; solution = None; stats })
+    else begin
+    (* Phase 2: process components in reverse topological order.  Our SCC
+       ids are numbered sinks-first, so ascending id order is exactly
+       that. *)
+    let failed = Array.make (max 1 scc.count) false in
+    let covered = Array.make (max 1 scc.count) [] in
+    let candidates = ref [] in
+    let exception Done in
+    (try
+    for c = 0 to scc.count - 1 do
+      let successors = Graphs.Digraph.successors condensation c in
+      if List.exists (fun s -> failed.(s)) successors then begin
+        failed.(c) <- true;
+        emit (Skipped { component = scc.members.(c) })
+      end
+      else begin
+        let members =
+          List.sort_uniq Int.compare
+            (scc.members.(c)
+            @ List.concat_map (fun s -> covered.(s)) successors)
+        in
+        let unified, unify_ns =
+          Stats.timed (fun () -> Combine.unify_set graph ~members)
+        in
+        stats.unify_ns <- Int64.add stats.unify_ns unify_ns;
+        match unified with
+        | Error failure ->
+          failed.(c) <- true;
+          emit (Unify_failed { component = scc.members.(c); failure })
+        | Ok subst -> (
+          let witness, ground_ns =
+            Stats.timed (fun () -> Ground.solve ~minimize db queries ~members subst)
+          in
+          stats.ground_ns <- Int64.add stats.ground_ns ground_ns;
+          stats.candidates <- stats.candidates + 1;
+          if Option.is_some observer then
+            emit
+              (Probed
+                 {
+                   component = scc.members.(c);
+                   members;
+                   body = Combine.combined_body graph ~members subst;
+                   witness;
+                 });
+          match witness with
+          | None -> failed.(c) <- true
+          | Some assignment ->
+            covered.(c) <- members;
+            candidates := { covered = members; assignment } :: !candidates;
+            (* Under first-found selection, later components cannot
+               change the answer: stop probing the database. *)
+            (match selection with
+            | First_found -> raise Done
+            | Largest | Preferred _ -> ()))
+      end
+    done
+    with Done -> ());
+    let candidates = List.rev !candidates in
+    let solution =
+      Option.map
+        (fun c -> Solution.make ~members:c.covered ~assignment:c.assignment)
+        (select selection queries candidates)
+    in
+    finish (Ok { queries; graph; candidates; solution; stats })
+    end
+  end

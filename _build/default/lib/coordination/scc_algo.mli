@@ -1,0 +1,81 @@
+(** The SCC Coordination Algorithm (Section 4).
+
+    Works on any {e safe} set of entangled queries — uniqueness is not
+    required.  The coordination graph is condensed into its strongly
+    connected components; components are processed in reverse topological
+    order.  Each component's candidate set is its SCC together with every
+    query reachable from it (the paper's [R(q)]); the candidate is unified
+    into a single combined query and sent to the database once.  Among
+    the successful candidates, a selection criterion picks the answer —
+    maximal size by default, as in the paper.
+
+    Guarantee (as in the paper): if any coordinating set exists, a
+    coordinating set is found, and it has maximum size among
+    [{R(q) | q in Q}].  Finding the overall maximum coordinating set is
+    NP-hard (Theorem 2). *)
+
+open Relational
+open Entangled
+
+type error = Not_safe of (int * int) list
+
+type candidate = {
+  covered : int list;            (** query indexes, sorted *)
+  assignment : Eval.valuation;
+}
+
+type selection =
+  | Largest                      (** the paper's default: maximal size *)
+  | First_found
+      (** earliest successful component; stops issuing database probes as
+          soon as one candidate grounds *)
+  | Preferred of (Query.t array -> candidate -> int)
+      (** custom score; largest score wins, ties broken by discovery
+          order (the airline gold-status example of Section 4) *)
+
+type outcome = {
+  queries : Query.t array;
+  graph : Coordination_graph.t;
+  candidates : candidate list;   (** all successful components, discovery order *)
+  solution : Solution.t option;
+  stats : Stats.t;
+}
+
+(** Execution events, delivered in order to an optional observer —
+    the raw material for {!Explain} traces. *)
+type event =
+  | Pruned of int list
+      (** queries dropped by preprocessing (unsatisfiable postconditions) *)
+  | Skipped of { component : int list }
+      (** a successor component had already failed *)
+  | Unify_failed of { component : int list; failure : Combine.failure }
+  | Probed of {
+      component : int list;
+      members : int list;        (** the candidate set R(q) *)
+      body : Relational.Cq.t;    (** the combined query sent to the database *)
+      witness : Eval.valuation option;  (** [None]: unsatisfiable *)
+    }
+
+val solve :
+  ?selection:selection ->
+  ?preprocess:bool ->
+  ?graph_only:bool ->
+  ?minimize:bool ->
+  ?observer:(event -> unit) ->
+  Database.t ->
+  Query.t list ->
+  (outcome, error) result
+(** [preprocess] (default [true]) iteratively drops queries with an
+    unsatisfiable postcondition before the SCC phase, as in the
+    implementation described in Section 6.1.  Disabling it is exposed for
+    the ablation benchmark; results are identical because such queries
+    can never unify, but more components fail late, costing unification
+    work and database probes.
+
+    [graph_only] (default [false]) stops after graph construction,
+    preprocessing and SCC condensation, returning an outcome with no
+    candidates — the quantity Figure 6 measures.
+
+    [minimize] (default [false]) grounds each candidate through the core
+    of its combined query (see {!Entangled.Ground.solve}); identical
+    answers with fewer joins when unification makes atoms redundant. *)

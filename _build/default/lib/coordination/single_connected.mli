@@ -1,0 +1,42 @@
+(** Single-connected query sets (Definition 6, Theorem 3).
+
+    A set is single-connected when every query has at most one
+    postcondition atom and the coordination graph has at most one simple
+    path between any two queries.  Such sets may be unsafe (a
+    postcondition may have several candidate heads), yet a coordinating
+    set can be found with a linear number of database queries: because
+    branches never reconverge, per-query results compose without
+    interference, so a memoised top-down search never backtracks across
+    queries.
+
+    The paper states Theorem 3 without an algorithm; this implementation
+    covers the acyclic case (the coordination graph of the set must be a
+    DAG — cycles would make two queries lie on a common cycle, giving two
+    simple paths between them unless the cycle is the whole component).
+    Cyclic inputs are rejected with [Not_single_connected]. *)
+
+open Relational
+open Entangled
+
+type error =
+  | Too_many_posts of int     (** this query has 2+ postcondition atoms *)
+  | Not_single_connected of int * int
+      (** two distinct simple paths exist between these queries, or they
+          lie on a directed cycle *)
+
+val pp_error : Query.t array -> Format.formatter -> error -> unit
+
+val check : Coordination_graph.t -> (unit, error) result
+(** Definition 6, checked literally (exponential path counting bounded at
+    two paths, plus a DAG requirement). *)
+
+type outcome = {
+  queries : Query.t array;
+  solution : Solution.t option;  (** largest closure found *)
+  stats : Stats.t;
+}
+
+val solve : Database.t -> Query.t list -> (outcome, error) result
+(** Per query [q], computes the best coordinating set containing [q] and
+    everything [q]'s chain pulls in; returns the largest over all [q].
+    Issues O(|Q| + edges) database probes. *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable db_probes : int;
+  mutable graph_ns : int64;
+  mutable unify_ns : int64;
+  mutable ground_ns : int64;
+  mutable total_ns : int64;
+  mutable candidates : int;
+  mutable cleaning_rounds : int;
+}
+
+let create () =
+  {
+    db_probes = 0;
+    graph_ns = 0L;
+    unify_ns = 0L;
+    ground_ns = 0L;
+    total_ns = 0L;
+    candidates = 0;
+    cleaning_rounds = 0;
+  }
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let add_span stats get set span = set stats (Int64.add (get stats) span)
+
+let timed f =
+  let t0 = now_ns () in
+  let x = f () in
+  let t1 = now_ns () in
+  (x, Int64.sub t1 t0)
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let pp ppf s =
+  Format.fprintf ppf
+    "probes=%d graph=%.3fms unify=%.3fms ground=%.3fms total=%.3fms \
+     candidates=%d cleaning_rounds=%d"
+    s.db_probes (ms s.graph_ns) (ms s.unify_ns) (ms s.ground_ns)
+    (ms s.total_ns) s.candidates s.cleaning_rounds
+
+let to_row s =
+  [
+    ("probes", string_of_int s.db_probes);
+    ("graph_ms", Printf.sprintf "%.3f" (ms s.graph_ns));
+    ("unify_ms", Printf.sprintf "%.3f" (ms s.unify_ns));
+    ("ground_ms", Printf.sprintf "%.3f" (ms s.ground_ns));
+    ("total_ms", Printf.sprintf "%.3f" (ms s.total_ns));
+    ("candidates", string_of_int s.candidates);
+    ("cleaning_rounds", string_of_int s.cleaning_rounds);
+  ]

@@ -1,0 +1,31 @@
+(** Instrumentation shared by all solvers.
+
+    The paper's experiments measure total processing time, the time spent
+    in graph construction and preprocessing (Figure 6), and are driven by
+    the number of database queries issued.  Every solver fills one of
+    these records. *)
+
+type t = {
+  mutable db_probes : int;       (** conjunctive queries issued *)
+  mutable graph_ns : int64;      (** graph build + preprocessing + SCC *)
+  mutable unify_ns : int64;      (** unification work *)
+  mutable ground_ns : int64;     (** database evaluation *)
+  mutable total_ns : int64;      (** whole solver call *)
+  mutable candidates : int;      (** candidate sets considered *)
+  mutable cleaning_rounds : int; (** consistent algorithm cleaning passes *)
+}
+
+val create : unit -> t
+
+val now_ns : unit -> int64
+(** Monotonic-ish wall-clock timestamp in nanoseconds. *)
+
+val add_span : t -> (t -> int64) -> (t -> int64 -> unit) -> int64 -> unit
+
+val timed : (unit -> 'a) -> 'a * int64
+(** [timed f] runs [f] and reports its wall-clock duration. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_row : t -> (string * string) list
+(** Key/value view for the benchmark harness's tabular output. *)

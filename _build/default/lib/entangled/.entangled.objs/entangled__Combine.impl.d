@@ -1,0 +1,1 @@
+lib/entangled/combine.ml: Array Coordination_graph Cq Format Hashtbl List Query Relational Subst

@@ -1,0 +1,1 @@
+lib/entangled/combine.mli: Coordination_graph Cq Format Query Relational Subst

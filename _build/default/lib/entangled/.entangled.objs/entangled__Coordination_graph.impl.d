@@ -1,0 +1,1 @@
+lib/entangled/coordination_graph.ml: Array Cq Format Graphs Hashtbl List Option Query Relational Term Value

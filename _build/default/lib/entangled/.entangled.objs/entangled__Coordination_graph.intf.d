@@ -1,0 +1,1 @@
+lib/entangled/coordination_graph.mli: Cq Format Graphs Query Relational

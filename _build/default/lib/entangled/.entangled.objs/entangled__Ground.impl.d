@@ -1,0 +1,1 @@
+lib/entangled/ground.ml: Array Containment Cq Database Eval Lazy List Query Relational Subst Term Value

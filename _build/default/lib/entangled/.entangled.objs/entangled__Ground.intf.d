@@ -1,0 +1,1 @@
+lib/entangled/ground.mli: Database Eval Query Relational Subst

@@ -1,0 +1,1 @@
+lib/entangled/parser.ml: Array Buffer Cq Database List Printf Query Relational String Term Value

@@ -1,0 +1,1 @@
+lib/entangled/parser.mli: Database Query Relational Term Value

@@ -1,0 +1,1 @@
+lib/entangled/query.ml: Array Cq Database Format Hashtbl List Printf Relational String Term

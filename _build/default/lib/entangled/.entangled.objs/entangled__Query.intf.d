@@ -1,0 +1,1 @@
+lib/entangled/query.mli: Cq Database Format Relational

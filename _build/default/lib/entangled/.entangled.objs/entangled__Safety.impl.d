@@ -1,0 +1,1 @@
+lib/entangled/safety.ml: Array Coordination_graph Graphs Hashtbl List Option

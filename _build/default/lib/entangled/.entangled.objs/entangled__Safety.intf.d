@@ -1,0 +1,1 @@
+lib/entangled/safety.mli: Coordination_graph

@@ -1,0 +1,1 @@
+lib/entangled/solution.ml: Array Cq Database Eval Format Hashtbl Int List Printf Query Relation Relational String Term Tuple Value

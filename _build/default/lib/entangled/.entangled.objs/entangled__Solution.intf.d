@@ -1,0 +1,1 @@
+lib/entangled/solution.mli: Database Eval Format Query Relational

@@ -1,0 +1,1 @@
+lib/entangled/subst.ml: Array Cq Format List Map Relational String Term Value

@@ -1,0 +1,1 @@
+lib/entangled/subst.mli: Cq Format Relational Term

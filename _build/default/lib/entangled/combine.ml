@@ -1,0 +1,57 @@
+open Relational
+
+type failure =
+  | Unsatisfiable_post of int * int
+  | Ambiguous_post of int * int * int
+  | Clash of int * int
+
+let pp_failure queries ppf f =
+  let name i = queries.(i).Query.name in
+  match f with
+  | Unsatisfiable_post (q, pi) ->
+    Format.fprintf ppf "postcondition %d of %s has no candidate head" pi
+      (name q)
+  | Ambiguous_post (q, pi, k) ->
+    Format.fprintf ppf "postcondition %d of %s has %d candidate heads" pi
+      (name q) k
+  | Clash (q, pi) ->
+    Format.fprintf ppf "unifying postcondition %d of %s clashed" pi (name q)
+
+let post_atom (g : Coordination_graph.t) q pi = List.nth g.queries.(q).Query.post pi
+
+let head_atom (g : Coordination_graph.t) q hi = List.nth g.queries.(q).Query.head hi
+
+let unify_set (g : Coordination_graph.t) ~members =
+  let in_set = Hashtbl.create 16 in
+  List.iter (fun q -> Hashtbl.replace in_set q ()) members;
+  (* Collect, per member post atom, the candidates inside the set. *)
+  let result = ref (Ok Subst.empty) in
+  let step q pi =
+    match !result with
+    | Error _ -> ()
+    | Ok subst -> (
+      let targets =
+        List.filter
+          (fun (d, _) -> Hashtbl.mem in_set d)
+          (Coordination_graph.post_targets g ~src:q ~post_index:pi)
+      in
+      match targets with
+      | [] -> result := Error (Unsatisfiable_post (q, pi))
+      | _ :: _ :: _ -> result := Error (Ambiguous_post (q, pi, List.length targets))
+      | [ (d, hi) ] -> (
+        let p = post_atom g q pi and h = head_atom g d hi in
+        match Subst.unify_atoms subst p h with
+        | None -> result := Error (Clash (q, pi))
+        | Some subst' -> result := Ok subst'))
+  in
+  List.iter
+    (fun q ->
+      List.iteri (fun pi (_ : Cq.atom) -> step q pi) g.queries.(q).Query.post)
+    members;
+  !result
+
+let combined_body (g : Coordination_graph.t) ~members subst =
+  let bodies =
+    List.concat_map (fun q -> g.queries.(q).Query.body.Cq.atoms) members
+  in
+  Subst.apply_cq subst (Cq.make bodies)

@@ -1,0 +1,157 @@
+open Relational
+
+type edge = {
+  src : int;
+  post_index : int;
+  dst : int;
+  head_index : int;
+}
+
+type t = {
+  queries : Query.t array;
+  extended : edge list;
+  graph : Graphs.Digraph.t;
+}
+
+let compatible (a : Cq.atom) (b : Cq.atom) =
+  a.rel = b.rel
+  && Array.length a.args = Array.length b.args
+  &&
+  let n = Array.length a.args in
+  let rec loop i =
+    i = n
+    ||
+    match (a.args.(i), b.args.(i)) with
+    | Term.Const u, Term.Const v -> Value.equal u v && loop (i + 1)
+    | (Term.Var _, _ | _, Term.Var _) -> loop (i + 1)
+  in
+  loop 0
+
+(* Head atoms are bucketed two levels deep: by relation symbol, then by
+   the constant in their first argument position (atoms whose first
+   argument is a variable go into a separate wildcard list).  Real
+   workloads name the coordination partner in the first position —
+   R(user, x) — so a post atom with a constant there only ever scans the
+   handful of heads that could match, making graph construction
+   near-linear instead of quadratic (the quantity Figure 6 measures). *)
+type head_bucket = {
+  by_first_const : (int * int * Cq.atom) list Value.Hashtbl.t;
+  mutable var_first : (int * int * Cq.atom) list;
+}
+
+let build queries =
+  let n = Array.length queries in
+  let heads_by_rel : (string, head_bucket) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun j q ->
+      List.iteri
+        (fun hi (h : Cq.atom) ->
+          let bucket =
+            match Hashtbl.find_opt heads_by_rel h.rel with
+            | Some b -> b
+            | None ->
+              let b =
+                { by_first_const = Value.Hashtbl.create 16; var_first = [] }
+              in
+              Hashtbl.add heads_by_rel h.rel b;
+              b
+          in
+          let entry = (j, hi, h) in
+          match (if Array.length h.args = 0 then Term.Var "" else h.args.(0)) with
+          | Term.Const v ->
+            let l =
+              Option.value ~default:[]
+                (Value.Hashtbl.find_opt bucket.by_first_const v)
+            in
+            Value.Hashtbl.replace bucket.by_first_const v (entry :: l)
+          | Term.Var _ -> bucket.var_first <- entry :: bucket.var_first)
+        q.Query.head)
+    queries;
+  let graph = Graphs.Digraph.create n in
+  let extended = ref [] in
+  let try_entry i pi p (j, hi, h) =
+    if compatible p h then begin
+      extended := { src = i; post_index = pi; dst = j; head_index = hi } :: !extended;
+      Graphs.Digraph.add_edge graph i j
+    end
+  in
+  Array.iteri
+    (fun i q ->
+      List.iteri
+        (fun pi (p : Cq.atom) ->
+          match Hashtbl.find_opt heads_by_rel p.rel with
+          | None -> ()
+          | Some bucket ->
+            let candidates =
+              match
+                if Array.length p.args = 0 then Term.Var "" else p.args.(0)
+              with
+              | Term.Const v ->
+                Option.value ~default:[]
+                  (Value.Hashtbl.find_opt bucket.by_first_const v)
+                @ bucket.var_first
+              | Term.Var _ ->
+                Value.Hashtbl.fold
+                  (fun _ l acc -> l @ acc)
+                  bucket.by_first_const bucket.var_first
+            in
+            List.iter (try_entry i pi p) candidates)
+        q.Query.post)
+    queries;
+  (* Deterministic edge order: by (src, post_index, dst, head_index). *)
+  let extended = List.sort compare !extended in
+  { queries; extended; graph }
+
+let post_targets g ~src ~post_index =
+  List.filter_map
+    (fun e ->
+      if e.src = src && e.post_index = post_index then Some (e.dst, e.head_index)
+      else None)
+    g.extended
+
+let post_count g =
+  Array.fold_left (fun acc q -> acc + List.length q.Query.post) 0 g.queries
+
+let prune_unsatisfiable g ~alive =
+  let n = Array.length g.queries in
+  if Array.length alive <> n then
+    invalid_arg "Coordination_graph.prune_unsatisfiable: mask size mismatch";
+  (* For each (src, post_index), the list of candidate dst queries. *)
+  let candidates = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let key = (e.src, e.post_index) in
+      let l = Option.value ~default:[] (Hashtbl.find_opt candidates key) in
+      Hashtbl.replace candidates key (e.dst :: l))
+    g.extended;
+  let has_live_candidate src post_index =
+    match Hashtbl.find_opt candidates (src, post_index) with
+    | None -> false
+    | Some ds -> List.exists (fun d -> alive.(d)) ds
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i q ->
+        if alive.(i) then
+          List.iteri
+            (fun pi (_ : Cq.atom) ->
+              if alive.(i) && not (has_live_candidate i pi) then begin
+                alive.(i) <- false;
+                changed := true
+              end)
+            q.Query.post)
+      g.queries
+  done
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>coordination graph over %d queries"
+    (Array.length g.queries);
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@,  (%s, post %d) -> (%s, head %d)"
+        g.queries.(e.src).Query.name e.post_index g.queries.(e.dst).Query.name
+        e.head_index)
+    g.extended;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,26 @@
+let unsafe_posts (g : Coordination_graph.t) =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Coordination_graph.edge) ->
+      let key = (e.src, e.post_index) in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    g.extended;
+  Hashtbl.fold (fun key c acc -> if c > 1 then key :: acc else acc) counts []
+  |> List.sort compare
+
+let is_safe_query g q = List.for_all (fun (s, _) -> s <> q) (unsafe_posts g)
+
+let is_safe g = unsafe_posts g = []
+
+let is_unique (g : Coordination_graph.t) =
+  let n = Array.length g.queries in
+  n <= 1
+  ||
+  let r = Graphs.Scc.compute g.graph in
+  r.count = 1
+
+let classify g =
+  if not (is_safe g) then `Unsafe
+  else if is_unique g then `Safe_unique
+  else `Safe

@@ -1,0 +1,28 @@
+(** Coordinating sets and an independent validity check.
+
+    {!validate} re-checks Definition 1 directly against the instance — it
+    shares no logic with the solvers, so tests can use it as ground truth
+    for any algorithm's output. *)
+
+open Relational
+
+type t = {
+  members : int list;          (** indexes into the query array, sorted *)
+  assignment : Eval.valuation; (** h: every variable of every member *)
+}
+
+val make : members:int list -> assignment:Eval.valuation -> t
+
+val size : t -> int
+
+val validate : Database.t -> Query.t array -> t -> (unit, string) result
+(** Checks, for [S] = [members] and [h] = [assignment]:
+    (1) every variable occurring in a member is assigned;
+    (2) the grounded version of every body atom is in the instance;
+    (3) grounded postconditions of members form a subset of grounded
+        heads of members.
+    Also rejects an empty member list and out-of-range indexes. *)
+
+val member_names : Query.t array -> t -> string list
+
+val pp : Query.t array -> Format.formatter -> t -> unit

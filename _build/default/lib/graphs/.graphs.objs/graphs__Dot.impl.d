@@ -1,0 +1,1 @@
+lib/graphs/dot.ml: Buffer Digraph List Printf String

@@ -1,0 +1,1 @@
+lib/graphs/scc.ml: Array Digraph List

@@ -1,0 +1,1 @@
+lib/graphs/topo.ml: Array Digraph List Queue

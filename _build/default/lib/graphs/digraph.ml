@@ -1,0 +1,92 @@
+type t = {
+  n : int;
+  succ : int list array;       (* reversed insertion order; normalised on read *)
+  pred : int list array;
+  edge_set : (int * int, unit) Hashtbl.t;
+  mutable edge_count : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative node count";
+  {
+    n;
+    succ = Array.make n [];
+    pred = Array.make n [];
+    edge_set = Hashtbl.create (max 16 n);
+    edge_count = 0;
+  }
+
+let node_count g = g.n
+
+let edge_count g = g.edge_count
+
+let check_node g u =
+  if u < 0 || u >= g.n then
+    invalid_arg (Printf.sprintf "Digraph: node %d out of [0,%d)" u g.n)
+
+let mem_edge g u v =
+  check_node g u;
+  check_node g v;
+  Hashtbl.mem g.edge_set (u, v)
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  if not (Hashtbl.mem g.edge_set (u, v)) then begin
+    Hashtbl.add g.edge_set (u, v) ();
+    g.succ.(u) <- v :: g.succ.(u);
+    g.pred.(v) <- u :: g.pred.(v);
+    g.edge_count <- g.edge_count + 1
+  end
+
+let successors g u =
+  check_node g u;
+  List.rev g.succ.(u)
+
+let predecessors g v =
+  check_node g v;
+  List.rev g.pred.(v)
+
+let out_degree g u =
+  check_node g u;
+  List.length g.succ.(u)
+
+let in_degree g v =
+  check_node g v;
+  List.length g.pred.(v)
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> f u v) (List.rev g.succ.(u))
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges (fun u v -> acc := (u, v) :: !acc) g;
+  List.rev !acc
+
+let nodes g = List.init g.n Fun.id
+
+let transpose g =
+  let t = create g.n in
+  iter_edges (fun u v -> add_edge t v u) g;
+  t
+
+let induced_subgraph g ~keep =
+  let s = create g.n in
+  iter_edges (fun u v -> if keep u && keep v then add_edge s u v) g;
+  s
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let equal a b =
+  a.n = b.n && a.edge_count = b.edge_count
+  && Hashtbl.fold (fun e () acc -> acc && Hashtbl.mem b.edge_set e) a.edge_set true
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph: %d nodes, %d edges" g.n g.edge_count;
+  iter_edges (fun u v -> Format.fprintf ppf "@,  %d -> %d" u v) g;
+  Format.fprintf ppf "@]"

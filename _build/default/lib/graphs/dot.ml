@@ -1,0 +1,31 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string ?(name = "coordination") ?(label = string_of_int)
+    ?(highlight = fun _ -> false) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  List.iter
+    (fun v ->
+      let attrs =
+        if highlight v then ", style=filled, fillcolor=lightblue" else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"%s];\n" v (escape (label v)) attrs))
+    (Digraph.nodes g);
+  Digraph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?name ?label ?highlight g ~path =
+  let oc = open_out path in
+  output_string oc (to_string ?name ?label ?highlight g);
+  close_out oc

@@ -1,0 +1,19 @@
+(** Graphviz DOT export, for inspecting coordination graphs. *)
+
+val to_string :
+  ?name:string ->
+  ?label:(int -> string) ->
+  ?highlight:(int -> bool) ->
+  Digraph.t ->
+  string
+(** [to_string g] renders [g] in DOT syntax.  [label] names nodes
+    (default: the node id), [highlight] fills the matching nodes — used to
+    show the chosen coordinating set. *)
+
+val to_file :
+  ?name:string ->
+  ?label:(int -> string) ->
+  ?highlight:(int -> bool) ->
+  Digraph.t ->
+  path:string ->
+  unit

@@ -1,0 +1,39 @@
+let from_set g sources =
+  let n = Digraph.node_count g in
+  let seen = Array.make n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter dfs (Digraph.successors g v)
+    end
+  in
+  List.iter dfs sources;
+  seen
+
+let from g s = from_set g [ s ]
+
+let reachable_list g s =
+  let seen = from g s in
+  List.filter (fun v -> seen.(v)) (Digraph.nodes g)
+
+let descendants_per_node g =
+  Array.init (Digraph.node_count g) (fun v -> from g v)
+
+let simple_path_count g s t ~max:max_paths =
+  let n = Digraph.node_count g in
+  let on_path = Array.make n false in
+  let count = ref 0 in
+  let rec dfs v =
+    if !count < max_paths then
+      if v = t then incr count
+      else begin
+        on_path.(v) <- true;
+        List.iter (fun w -> if not on_path.(w) then dfs w) (Digraph.successors g v);
+        on_path.(v) <- false
+      end
+  in
+  if n = 0 then 0
+  else begin
+    dfs s;
+    !count
+  end

@@ -1,0 +1,92 @@
+type result = {
+  count : int;
+  component : int array;
+  members : int list array;
+}
+
+(* Iterative Tarjan.  Components are emitted sinks-first, so an edge
+   between distinct components always goes from a higher id to a lower
+   id. *)
+let compute_masked g ~alive =
+  let n = Digraph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comp_count = ref 0 in
+  let members_rev = ref [] in
+  (* Explicit DFS frames: (node, remaining successors). *)
+  let visit root =
+    let frames = ref [ (root, ref (Digraph.successors g root)) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, succs) :: rest -> (
+        match !succs with
+        | w :: ws when not (alive w) ->
+          succs := ws
+        | w :: ws when index.(w) = -1 ->
+          succs := ws;
+          index.(w) <- !next_index;
+          lowlink.(w) <- !next_index;
+          incr next_index;
+          stack := w :: !stack;
+          on_stack.(w) <- true;
+          frames := (w, ref (Digraph.successors g w)) :: !frames
+        | w :: ws ->
+          succs := ws;
+          if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        | [] ->
+          (* v is done: pop frame, maybe emit a component, propagate
+             lowlink to the parent. *)
+          frames := rest;
+          if lowlink.(v) = index.(v) then begin
+            let c = !comp_count in
+            incr comp_count;
+            let ms = ref [] in
+            let continue_popping = ref true in
+            while !continue_popping do
+              match !stack with
+              | [] -> assert false
+              | w :: tail ->
+                stack := tail;
+                on_stack.(w) <- false;
+                comp.(w) <- c;
+                ms := w :: !ms;
+                if w = v then continue_popping := false
+            done;
+            members_rev := (c, !ms) :: !members_rev
+          end;
+          (match rest with
+          | (parent, _) :: _ -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          | [] -> ()))
+    done
+  in
+  for v = 0 to n - 1 do
+    if alive v && index.(v) = -1 then visit v
+  done;
+  let members = Array.make !comp_count [] in
+  List.iter (fun (c, ms) -> members.(c) <- ms) !members_rev;
+  { count = !comp_count; component = comp; members }
+
+let compute g = compute_masked g ~alive:(fun _ -> true)
+
+let condensation g r =
+  let cg = Digraph.create r.count in
+  Digraph.iter_edges
+    (fun u v ->
+      let cu = r.component.(u) and cv = r.component.(v) in
+      if cu >= 0 && cv >= 0 && cu <> cv then Digraph.add_edge cg cu cv)
+    g;
+  cg
+
+let is_trivial r =
+  Array.for_all (fun ms -> match ms with [] | [ _ ] -> true | _ -> false)
+    r.members

@@ -1,0 +1,30 @@
+(** Strongly connected components and condensation.
+
+    Tarjan's algorithm (iterative, so deep chain graphs — the paper's
+    list-structure workload — cannot overflow the stack). *)
+
+type result = {
+  count : int;                (** number of components *)
+  component : int array;     (** node id -> component id *)
+  members : int list array;  (** component id -> its nodes *)
+}
+
+val compute : Digraph.t -> result
+(** Component ids are numbered in reverse topological order of the
+    condensation: if there is an edge from component [c1] to component
+    [c2] (c1 needs c2), then [c1 > c2].  Hence iterating components in
+    increasing id order processes every component after all components it
+    depends on — exactly the order the SCC coordination algorithm wants. *)
+
+val compute_masked : Digraph.t -> alive:(int -> bool) -> result
+(** Like {!compute} but restricted to nodes satisfying [alive]; dead nodes
+    get component [-1] and appear in no member list. *)
+
+val condensation : Digraph.t -> result -> Digraph.t
+(** The components graph G': one node per component, an edge [c1 -> c2]
+    (c1 <> c2) whenever some edge of the original graph crosses from [c1]
+    to [c2].  Acyclic by construction; self-loops are dropped. *)
+
+val is_trivial : result -> bool
+(** True when every component is a single node (the graph is a DAG except
+    for self-loops). *)

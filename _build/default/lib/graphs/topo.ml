@@ -1,0 +1,43 @@
+exception Cycle of int list
+
+let sort g =
+  let n = Digraph.node_count g in
+  let indeg = Array.init n (Digraph.in_degree g) in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let emitted = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr emitted;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      (Digraph.successors g v)
+  done;
+  if !emitted < n then begin
+    let remaining =
+      List.filter (fun v -> indeg.(v) > 0) (Digraph.nodes g)
+    in
+    raise (Cycle remaining)
+  end;
+  List.rev !order
+
+let reverse_sort g = List.rev (sort g)
+
+let is_topological_order g order =
+  let n = Digraph.node_count g in
+  if List.length order <> n then false
+  else begin
+    let position = Array.make n (-1) in
+    List.iteri (fun i v -> if v >= 0 && v < n then position.(v) <- i) order;
+    Array.for_all (fun p -> p >= 0) position
+    &&
+    let ok = ref true in
+    Digraph.iter_edges (fun u v -> if position.(u) >= position.(v) then ok := false) g;
+    !ok
+  end

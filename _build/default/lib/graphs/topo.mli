@@ -1,0 +1,16 @@
+(** Topological ordering of DAGs (Kahn's algorithm). *)
+
+exception Cycle of int list
+(** Raised with (some of) the nodes of a cycle when the graph is cyclic. *)
+
+val sort : Digraph.t -> int list
+(** A topological order: every edge goes from an earlier to a later node.
+    @raise Cycle when the graph has a directed cycle (self-loops count). *)
+
+val reverse_sort : Digraph.t -> int list
+(** [reverse_sort g] is [List.rev (sort g)]: successors first — the
+    processing order of the SCC coordination algorithm. *)
+
+val is_topological_order : Digraph.t -> int list -> bool
+(** Checks that the list is a permutation of the nodes respecting all
+    edges.  Used by tests. *)

@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
+  (* Drop to 62 bits so the value fits OCaml's native positive int range. *)
+  let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  x mod bound
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  x /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let pick_array t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick_array: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_distinct t k bound =
+  if k < 0 || k > bound then invalid_arg "Prng.sample_distinct";
+  let a = Array.init bound Fun.id in
+  shuffle t a;
+  Array.to_list (Array.sub a 0 k)
+
+let split t = { state = next_int64 t }

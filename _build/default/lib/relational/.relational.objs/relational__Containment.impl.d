@@ -1,0 +1,1 @@
+lib/relational/containment.ml: Array Cq Hashtbl List Option Term Value

@@ -1,0 +1,1 @@
+lib/relational/cq.ml: Array Format Hashtbl Int List Option String Term

@@ -1,0 +1,1 @@
+lib/relational/cq.mli: Format Term

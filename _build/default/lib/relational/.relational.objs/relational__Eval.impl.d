@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Array Cq Database Format Hashtbl List Map Option Printf Relation String Term Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/eval.mli: Cq Database Format Map Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/sqlgen.ml: Array Buffer Cq Database Hashtbl List Option Printf Relation Schema String Term Value

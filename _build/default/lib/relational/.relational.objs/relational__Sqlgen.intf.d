@@ -1,0 +1,1 @@
+lib/relational/sqlgen.mli: Cq Database Value

@@ -1,0 +1,1 @@
+lib/relational/term.ml: Format Map Set String Value

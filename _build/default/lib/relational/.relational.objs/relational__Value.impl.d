@@ -1,0 +1,1 @@
+lib/relational/value.ml: Bool Format Int Map Set Stdlib String

@@ -1,0 +1,109 @@
+exception Too_large of int
+
+let max_atoms = 32
+
+let check_size (q : Cq.t) =
+  let n = List.length q.atoms in
+  if n > max_atoms then raise (Too_large n)
+
+(* Backtracking search for a homomorphism sending every atom of [src]
+   to some atom of [dst], extending [seed] (a partial variable map). *)
+let homomorphism_with ~seed (src : Cq.t) (dst : Cq.t) =
+  check_size src;
+  let mapping : (string, Term.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (x, t) -> Hashtbl.replace mapping x t) seed;
+  let dst_atoms = Array.of_list dst.atoms in
+  let rec map_atoms = function
+    | [] -> true
+    | (a : Cq.atom) :: rest ->
+      let try_target (b : Cq.atom) =
+        if a.rel <> b.rel || Array.length a.args <> Array.length b.args then
+          false
+        else begin
+          let undo = ref [] in
+          let ok = ref true in
+          let n = Array.length a.args in
+          let i = ref 0 in
+          while !ok && !i < n do
+            (match (a.args.(!i), b.args.(!i)) with
+            | Term.Const u, Term.Const v -> if not (Value.equal u v) then ok := false
+            | Term.Const _, Term.Var _ ->
+              (* A constant maps only to itself. *)
+              ok := false
+            | Term.Var x, t -> (
+              match Hashtbl.find_opt mapping x with
+              | Some t' -> if not (Term.equal t t') then ok := false
+              | None ->
+                Hashtbl.add mapping x t;
+                undo := x :: !undo));
+            incr i
+          done;
+          if !ok && map_atoms rest then true
+          else begin
+            List.iter (Hashtbl.remove mapping) !undo;
+            false
+          end
+        end
+      in
+      Array.exists try_target dst_atoms
+  in
+  if map_atoms src.atoms then
+    Some (Hashtbl.fold (fun x t acc -> (x, t) :: acc) mapping [])
+  else None
+
+let homomorphism src dst = homomorphism_with ~seed:[] src dst
+
+(* q1 is contained in q2 iff there is a homomorphism from q2 into q1
+   (Chandra–Merlin, for boolean CQs / shared free variables frozen by
+   the caller via [protect] in minimize). *)
+let contained_in q1 q2 = Option.is_some (homomorphism q2 q1)
+
+let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1
+
+let minimize_with_retraction ?(protect = []) (q : Cq.t) =
+  let identity = List.map (fun x -> (x, Term.Var x)) (Cq.variables q) in
+  if List.length q.atoms > max_atoms then (q, identity)
+  else begin
+    let seed = List.map (fun x -> (x, Term.Var x)) protect in
+    (* Try to drop one atom of [kept]: equivalence needs a retraction of
+       the full query into the smaller one fixing protected variables
+       (dropping an atom only weakens a CQ, so the other containment
+       direction is trivial). *)
+    let removable kept removed_candidate =
+      let q_full = Cq.make kept in
+      let q_small =
+        Cq.make (List.filter (fun a -> a != removed_candidate) kept)
+      in
+      if q_small.Cq.atoms = [] then None
+      else
+        Option.map
+          (fun h -> (q_small.Cq.atoms, h))
+          (homomorphism_with ~seed q_full q_small)
+    in
+    let apply_hom h t =
+      match t with
+      | Term.Const _ -> t
+      | Term.Var y -> ( match List.assoc_opt y h with Some t' -> t' | None -> t)
+    in
+    let rec shrink atoms retraction =
+      let rec find_removal = function
+        | [] -> None
+        | a :: rest -> (
+          match removable atoms a with
+          | Some result -> Some result
+          | None -> find_removal rest)
+      in
+      match find_removal atoms with
+      | None -> (atoms, retraction)
+      | Some (smaller, h) ->
+        shrink smaller
+          (List.map (fun (x, t) -> (x, apply_hom h t)) retraction)
+    in
+    match q.atoms with
+    | [] -> (q, identity)
+    | atoms ->
+      let kept, retraction = shrink atoms identity in
+      (Cq.make kept, retraction)
+  end
+
+let minimize ?protect q = fst (minimize_with_retraction ?protect q)

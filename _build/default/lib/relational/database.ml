@@ -1,0 +1,72 @@
+type t = {
+  tables : (string, Relation.t) Hashtbl.t;
+  mutable probes : int;
+  mutable probe_latency : float;  (* seconds added per probe *)
+}
+
+let create () = { tables = Hashtbl.create 16; probes = 0; probe_latency = 0.0 }
+
+let create_table db schema =
+  let name = Schema.name schema in
+  if Hashtbl.mem db.tables name then
+    invalid_arg (Printf.sprintf "Database.create_table: %s already exists" name);
+  let r = Relation.create schema in
+  Hashtbl.add db.tables name r;
+  r
+
+let create_table' db name attrs = create_table db (Schema.make name attrs)
+
+let drop_table db name = Hashtbl.remove db.tables name
+
+let relation db name =
+  match Hashtbl.find_opt db.tables name with
+  | Some r -> r
+  | None -> raise Not_found
+
+let relation_opt db name = Hashtbl.find_opt db.tables name
+
+let mem_relation db name = Hashtbl.mem db.tables name
+
+let relations db =
+  Hashtbl.fold (fun _ r acc -> r :: acc) db.tables []
+  |> List.sort (fun a b -> String.compare (Relation.name a) (Relation.name b))
+
+let insert db rel vs = ignore (Relation.insert (relation db rel) (Tuple.make vs))
+
+let active_domain db =
+  List.fold_left
+    (fun acc r -> Value.Set.union acc (Relation.active_domain r))
+    Value.Set.empty (relations db)
+
+let total_tuples db =
+  List.fold_left (fun acc r -> acc + Relation.cardinal r) 0 (relations db)
+
+let count_probe db =
+  db.probes <- db.probes + 1;
+  if db.probe_latency > 0.0 then begin
+    (* Busy-wait: Unix.sleepf would need the unix library here, and the
+       emulated round trips are sub-millisecond. *)
+    let deadline = Sys.time () +. db.probe_latency in
+    while Sys.time () < deadline do
+      ()
+    done
+  end
+
+let set_probe_latency db seconds =
+  if seconds < 0.0 then invalid_arg "Database.set_probe_latency: negative";
+  db.probe_latency <- seconds
+
+let probe_latency db = db.probe_latency
+
+let probes db = db.probes
+
+let reset_probes db = db.probes <- 0
+
+let pp ppf db =
+  Format.fprintf ppf "@[<v>database (%d probes issued)" db.probes;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@,  %a: %d tuples" Schema.pp (Relation.schema r)
+        (Relation.cardinal r))
+    (relations db);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,61 @@
+(** Database instances: named relations plus probe accounting.
+
+    The probe counter mirrors the metric the paper's experiments are driven
+    by — the number of SQL queries sent to MySQL.  Every call that the
+    conjunctive-query evaluator treats as "one database query" bumps it via
+    {!count_probe}. *)
+
+type t
+
+val create : unit -> t
+
+val create_table : t -> Schema.t -> Relation.t
+(** @raise Invalid_argument if a relation with the same name exists. *)
+
+val create_table' : t -> string -> string list -> Relation.t
+(** [create_table' db name attrs] is [create_table db (Schema.make name attrs)]. *)
+
+val drop_table : t -> string -> unit
+(** Removes a relation; silently does nothing when absent. *)
+
+val relation : t -> string -> Relation.t
+(** @raise Not_found when no relation has that name. *)
+
+val relation_opt : t -> string -> Relation.t option
+
+val mem_relation : t -> string -> bool
+
+val relations : t -> Relation.t list
+(** All relations, sorted by name. *)
+
+val insert : t -> string -> Value.t list -> unit
+(** [insert db rel vs] inserts the tuple [vs] into relation [rel].
+    @raise Not_found when [rel] does not exist.
+    @raise Invalid_argument on an arity mismatch. *)
+
+val active_domain : t -> Value.Set.t
+(** Union of the active domains of all relations. *)
+
+val total_tuples : t -> int
+
+(** {2 Probe accounting} *)
+
+val count_probe : t -> unit
+(** Record that one conjunctive query was issued against this instance.
+    If a probe latency is configured, also stalls for that long. *)
+
+val set_probe_latency : t -> float -> unit
+(** [set_probe_latency db seconds] makes every probe cost an additional
+    [seconds] of wall-clock time, emulating the client–server round trip
+    of the paper's MySQL/JDBC setup (where per-query latency, not join
+    work, dominates).  Zero (the default) disables the stall. *)
+
+val probe_latency : t -> float
+
+val probes : t -> int
+(** Number of probes since creation or the last {!reset_probes}. *)
+
+val reset_probes : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Prints every relation's schema and cardinality (not the tuples). *)

@@ -1,0 +1,332 @@
+module Binding = Map.Make (String)
+
+type valuation = Value.t Binding.t
+
+exception Unknown_relation of string
+exception Arity_mismatch of string * int * int
+
+let get_relation db (a : Cq.atom) =
+  match Database.relation_opt db a.rel with
+  | None -> raise (Unknown_relation a.rel)
+  | Some r ->
+    let expected = Relation.arity r and got = Array.length a.args in
+    if got <> expected then raise (Arity_mismatch (a.rel, got, expected));
+    r
+
+(* Search state: a mutable binding table; undo information lives on the
+   call stack of the backtracking search. *)
+type state = { bound : (string, Value.t) Hashtbl.t }
+
+let term_value st = function
+  | Term.Const v -> Some v
+  | Term.Var x -> Hashtbl.find_opt st.bound x
+
+(* Try to match tuple [t] against atom args, extending the binding.
+   Returns the number of variables newly bound (to undo), or [None] if the
+   tuple does not match. *)
+let match_tuple st (args : Term.t array) (t : Tuple.t) =
+  let undo = ref [] in
+  let ok = ref true in
+  let n = Array.length args in
+  let i = ref 0 in
+  while !ok && !i < n do
+    (match args.(!i) with
+    | Term.Const v -> if not (Value.equal v t.(!i)) then ok := false
+    | Term.Var x -> (
+      match Hashtbl.find_opt st.bound x with
+      | Some v -> if not (Value.equal v t.(!i)) then ok := false
+      | None ->
+        Hashtbl.add st.bound x t.(!i);
+        undo := x :: !undo));
+    incr i
+  done;
+  if !ok then Some !undo
+  else begin
+    List.iter (Hashtbl.remove st.bound) !undo;
+    None
+  end
+
+type plan =
+  | Greedy_indexed
+  | Fixed_indexed
+  | Fixed_scan
+
+(* Cost estimate for an atom under the current binding, together with the
+   best access path. *)
+type access =
+  | Membership of Tuple.t          (* fully ground: O(1) test *)
+  | Index_scan of int * Value.t    (* bound column: index lookup *)
+  | Full_scan
+
+let plan_atom st db (a : Cq.atom) =
+  let r = get_relation db a in
+  let values = Array.map (term_value st) a.args in
+  if Array.for_all Option.is_some values then
+    let t = Array.map Option.get values in
+    (0, r, Membership t)
+  else begin
+    let best = ref None in
+    Array.iteri
+      (fun c v ->
+        match v with
+        | None -> ()
+        | Some v ->
+          let cost = Relation.count_matching r ~col:c v in
+          (match !best with
+          | Some (bc, _, _) when bc <= cost -> ()
+          | _ -> best := Some (cost, c, v)))
+      values;
+    match !best with
+    | Some (cost, c, v) -> (cost, r, Index_scan (c, v))
+    | None -> (Relation.cardinal r, r, Full_scan)
+  end
+
+(* Pick the cheapest remaining atom; returns (atom, plan, rest). *)
+let pick_atom st db atoms =
+  let rec loop best best_cost acc = function
+    | [] -> best
+    | a :: rest ->
+      let ((cost, _, _) as plan) = plan_atom st db a in
+      let acc' = a :: acc in
+      if cost < best_cost then
+        loop (Some (a, plan, List.rev_append acc rest)) cost acc' rest
+      else loop best best_cost acc' rest
+  in
+  loop None max_int [] atoms
+
+exception Stop
+
+let solve ?(plan = Greedy_indexed) db (q : Cq.t) ~on_solution =
+  Database.count_probe db;
+  (* Validate all atoms up front so errors surface even for plans that
+     would short-circuit. *)
+  List.iter (fun a -> ignore (get_relation db a)) q.atoms;
+  let st = { bound = Hashtbl.create 16 } in
+  let snapshot () =
+    Hashtbl.fold (fun x v acc -> Binding.add x v acc) st.bound Binding.empty
+  in
+  let next_atom atoms =
+    match plan with
+    | Greedy_indexed -> pick_atom st db atoms
+    | Fixed_indexed -> (
+      match atoms with
+      | [] -> None
+      | a :: rest -> Some (a, plan_atom st db a, rest))
+    | Fixed_scan -> (
+      match atoms with
+      | [] -> None
+      | a :: rest -> Some (a, (0, get_relation db a, Full_scan), rest))
+  in
+  let rec go atoms =
+    match atoms with
+    | [] -> if not (on_solution (snapshot ())) then raise Stop
+    | _ -> (
+      match next_atom atoms with
+      | None -> assert false
+      | Some (a, (_, r, access), rest) -> (
+        let try_tuple t =
+          match match_tuple st a.Cq.args t with
+          | None -> ()
+          | Some undo ->
+            go rest;
+            List.iter (Hashtbl.remove st.bound) undo
+        in
+        match access with
+        | Membership t -> if Relation.mem r t then go rest
+        | Index_scan (c, v) -> Relation.iter_matching r ~col:c v try_tuple
+        | Full_scan -> Relation.iter try_tuple r))
+  in
+  try go q.atoms with Stop -> ()
+
+let find_first ?plan db q =
+  let result = ref None in
+  solve ?plan db q ~on_solution:(fun b ->
+      result := Some b;
+      false);
+  !result
+
+let satisfiable ?plan db q = Option.is_some (find_first ?plan db q)
+
+let find_all ?plan ?limit db q =
+  let results = ref [] in
+  let n = ref 0 in
+  let continue_after () =
+    incr n;
+    match limit with None -> true | Some l -> !n < l
+  in
+  solve ?plan db q ~on_solution:(fun b ->
+      results := b :: !results;
+      continue_after ());
+  List.rev !results
+
+let count db q =
+  let n = ref 0 in
+  solve db q ~on_solution:(fun _ ->
+      incr n;
+      true);
+  !n
+
+let distinct_projections db q vars =
+  let qvars = Cq.variables q in
+  List.iter
+    (fun x ->
+      if not (List.mem x qvars) then
+        invalid_arg
+          (Printf.sprintf "Eval.distinct_projections: %s not in query" x))
+    vars;
+  let acc = ref Tuple.Set.empty in
+  solve db q ~on_solution:(fun b ->
+      let t = Array.of_list (List.map (fun x -> Binding.find x b) vars) in
+      acc := Tuple.Set.add t !acc;
+      true);
+  !acc
+
+let check_ground db q =
+  if not (Cq.is_ground q) then
+    invalid_arg "Eval.check_ground: query has variables";
+  Database.count_probe db;
+  List.for_all
+    (fun (a : Cq.atom) ->
+      let r = get_relation db a in
+      let t = Array.map (function Term.Const v -> v | Term.Var _ -> assert false) a.args in
+      Relation.mem r t)
+    q.atoms
+
+let pp_valuation ppf b =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (x, v) -> Format.fprintf ppf "%s -> %a" x Value.pp v))
+    (Binding.bindings b)
+
+module Naive = struct
+  (* Reference semantics for tests: enumerate every combination of tuples
+     for the atoms and keep consistent ones. *)
+  let find_all db (q : Cq.t) =
+    Database.count_probe db;
+    let rec go binding = function
+      | [] -> [ binding ]
+      | (a : Cq.atom) :: rest ->
+        let r = get_relation db a in
+        Relation.fold
+          (fun acc t ->
+            let rec unify binding i =
+              if i = Array.length a.args then Some binding
+              else
+                match a.args.(i) with
+                | Term.Const v ->
+                  if Value.equal v t.(i) then unify binding (i + 1) else None
+                | Term.Var x -> (
+                  match Binding.find_opt x binding with
+                  | Some v ->
+                    if Value.equal v t.(i) then unify binding (i + 1) else None
+                  | None -> unify (Binding.add x t.(i) binding) (i + 1))
+            in
+            match unify binding 0 with
+            | None -> acc
+            | Some binding' -> acc @ go binding' rest)
+          [] r
+    in
+    let all = go Binding.empty q.atoms in
+    (* Dedupe: distinct valuations only. *)
+    List.sort_uniq (Binding.compare Value.compare) all
+end
+
+(* ------------------------------------------------------------------ *)
+(* Plan introspection                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type plan_step = {
+  atom : Cq.atom;
+  access : [ `Membership | `Index of int * Value.t | `Bound_index of int | `Scan ];
+  estimated_rows : int;
+}
+
+let explain db (q : Cq.t) =
+  List.iter (fun a -> ignore (get_relation db a)) q.atoms;
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Static cost of an atom under the current bound-variable set. *)
+  let assess (a : Cq.atom) =
+    let r = get_relation db a in
+    let all_known =
+      Array.for_all
+        (function
+          | Term.Const _ -> true
+          | Term.Var x -> Hashtbl.mem bound x)
+        a.args
+    in
+    if all_known && Array.for_all Term.is_const a.args then
+      { atom = a; access = `Membership; estimated_rows = 0 }
+    else begin
+      (* Prefer the most selective constant column; else a bound
+         variable column; else scan. *)
+      let best_const = ref None in
+      Array.iteri
+        (fun c t ->
+          match t with
+          | Term.Const v ->
+            let n = Relation.count_matching r ~col:c v in
+            (match !best_const with
+            | Some (m, _, _) when m <= n -> ()
+            | _ -> best_const := Some (n, c, v))
+          | Term.Var _ -> ())
+        a.args;
+      match !best_const with
+      | Some (n, c, v) -> { atom = a; access = `Index (c, v); estimated_rows = n }
+      | None -> (
+        let bound_col = ref None in
+        Array.iteri
+          (fun c t ->
+            match t with
+            | Term.Var x when Hashtbl.mem bound x && !bound_col = None ->
+              bound_col := Some c
+            | Term.Var _ | Term.Const _ -> ())
+          a.args;
+        match !bound_col with
+        | Some c ->
+          { atom = a; access = `Bound_index c; estimated_rows = Relation.cardinal r }
+        | None -> { atom = a; access = `Scan; estimated_rows = Relation.cardinal r })
+    end
+  in
+  let rec order remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+      let assessed = List.map (fun a -> (a, assess a)) remaining in
+      let weight (_, step) =
+        (* Membership first, then constant indexes by size, then bound
+           indexes, then scans. *)
+        match step.access with
+        | `Membership -> (0, 0)
+        | `Index _ -> (1, step.estimated_rows)
+        | `Bound_index _ -> (2, step.estimated_rows)
+        | `Scan -> (3, step.estimated_rows)
+      in
+      let best =
+        List.fold_left
+          (fun acc x -> if weight x < weight acc then x else acc)
+          (List.hd assessed) (List.tl assessed)
+      in
+      let chosen, step = best in
+      List.iter
+        (function Term.Var x -> Hashtbl.replace bound x () | Term.Const _ -> ())
+        (Array.to_list chosen.Cq.args);
+      order (List.filter (fun a -> a != chosen) remaining) (step :: acc)
+  in
+  order q.atoms []
+
+let pp_plan ppf steps =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i step ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%d. %a  via %s" (i + 1) Cq.pp_atom step.atom
+        (match step.access with
+        | `Membership -> "membership test"
+        | `Index (c, v) ->
+          Printf.sprintf "index col %d = %s (~%d rows)" c (Value.to_string v)
+            step.estimated_rows
+        | `Bound_index c -> Printf.sprintf "index col %d (bound at run time)" c
+        | `Scan -> Printf.sprintf "scan (%d rows)" step.estimated_rows))
+    steps;
+  Format.fprintf ppf "@]"

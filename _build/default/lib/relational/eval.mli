@@ -1,0 +1,86 @@
+(** Conjunctive-query evaluation.
+
+    A backtracking join: at each step the evaluator picks the cheapest
+    remaining atom under the current partial valuation (ground atoms are
+    membership tests, atoms with a bound column use that column's hash
+    index, everything else is a scan) and extends the valuation tuple by
+    tuple.
+
+    Each top-level call counts as one database probe
+    ({!Database.count_probe}), mirroring "one SQL query" in the paper's
+    experiments. *)
+
+module Binding : Map.S with type key = string
+(** Valuations: finite maps from variable names to values. *)
+
+type valuation = Value.t Binding.t
+
+exception Unknown_relation of string
+(** Raised when a query mentions a relation absent from the instance. *)
+
+exception Arity_mismatch of string * int * int
+(** [Arity_mismatch (rel, got, expected)]. *)
+
+type plan =
+  | Greedy_indexed
+      (** default: cheapest atom next, hash-index access paths *)
+  | Fixed_indexed
+      (** atoms in syntactic order, still index-backed — isolates the
+          benefit of dynamic ordering in the ablation benchmarks *)
+  | Fixed_scan
+      (** atoms in syntactic order, full scans only — what evaluation
+          costs without any index *)
+
+val find_first : ?plan:plan -> Database.t -> Cq.t -> valuation option
+(** Choose-1 semantics: the first satisfying valuation, if any.  The empty
+    query succeeds with the empty valuation. *)
+
+val satisfiable : ?plan:plan -> Database.t -> Cq.t -> bool
+
+val find_all : ?plan:plan -> ?limit:int -> Database.t -> Cq.t -> valuation list
+(** All satisfying valuations (up to [limit] when given), in search order.
+    Two valuations agreeing on all variables of the query are returned
+    once. *)
+
+val count : Database.t -> Cq.t -> int
+(** Number of distinct satisfying valuations. *)
+
+val distinct_projections : Database.t -> Cq.t -> string list -> Tuple.Set.t
+(** [distinct_projections db q vars] is the set of distinct tuples of
+    values the listed variables take over all satisfying valuations.
+    @raise Invalid_argument if some listed variable does not occur in [q]. *)
+
+val check_ground : Database.t -> Cq.t -> bool
+(** [check_ground db q] for a variable-free query: true iff every atom's
+    tuple is present.  Counts as one probe. *)
+
+val pp_valuation : Format.formatter -> valuation -> unit
+
+(** {2 Plan introspection} *)
+
+type plan_step = {
+  atom : Cq.atom;
+  access : [ `Membership | `Index of int * Value.t | `Bound_index of int | `Scan ];
+      (** [`Index]: lookup on a constant column; [`Bound_index]: lookup
+          on a column whose variable an earlier step binds (value known
+          only at run time); [`Scan]: no usable column. *)
+  estimated_rows : int;
+      (** index-size estimate for [`Index], relation cardinality for
+          [`Scan] and [`Bound_index] (a pre-execution upper bound), 0
+          for [`Membership]. *)
+}
+
+val explain : Database.t -> Cq.t -> plan_step list
+(** The order and access paths the greedy planner would choose before
+    any tuple is read: constants drive index choices, variables become
+    bound as atoms are placed.  The dynamic planner can deviate at run
+    time (it re-plans with actual bindings); this is the static
+    approximation, for logging and tuning. *)
+
+val pp_plan : Format.formatter -> plan_step list -> unit
+
+module Naive : sig
+  val find_all : Database.t -> Cq.t -> valuation list
+  (** Reference semantics: enumerate the full cross product of candidate
+      tuples for each atom and filter.  Exponential; for tests only. *)
+end

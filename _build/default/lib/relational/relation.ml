@@ -1,0 +1,172 @@
+type t = {
+  schema : Schema.t;
+  mutable tuples : Tuple.t Vec.t;
+  mutable live : bool Vec.t;            (* tombstones, parallel to tuples *)
+  mutable present : int Tuple.Hashtbl.t; (* tuple -> live row id *)
+  mutable dead_count : int;
+  (* indexes.(c) maps a value of column c to the count of LIVE rows and
+     the list of row ids (possibly containing tombstoned rows, filtered
+     on read); built lazily on first lookup of column c. *)
+  mutable indexes : (int * int list) Value.Hashtbl.t option array;
+}
+
+let create schema =
+  {
+    schema;
+    tuples = Vec.create ();
+    live = Vec.create ();
+    present = Tuple.Hashtbl.create 64;
+    dead_count = 0;
+    indexes = Array.make (Schema.arity schema) None;
+  }
+
+let schema r = r.schema
+
+let name r = Schema.name r.schema
+
+let arity r = Schema.arity r.schema
+
+let cardinal r = Vec.length r.tuples - r.dead_count
+
+let check_arity r t =
+  if Tuple.arity t <> arity r then
+    invalid_arg
+      (Printf.sprintf "Relation %s: tuple arity %d, expected %d" (name r)
+         (Tuple.arity t) (arity r))
+
+let index_row idx row t c =
+  let v = t.(c) in
+  let count, rows =
+    Option.value ~default:(0, []) (Value.Hashtbl.find_opt idx v)
+  in
+  Value.Hashtbl.replace idx v (count + 1, row :: rows)
+
+let insert r t =
+  check_arity r t;
+  if Tuple.Hashtbl.mem r.present t then false
+  else begin
+    let row = Vec.length r.tuples in
+    Tuple.Hashtbl.add r.present t row;
+    Vec.push r.tuples t;
+    Vec.push r.live true;
+    Array.iteri
+      (fun c idx ->
+        match idx with None -> () | Some idx -> index_row idx row t c)
+      r.indexes;
+    true
+  end
+
+let insert_list r ts = List.iter (fun t -> ignore (insert r t)) ts
+
+(* Rebuild the store with only live rows; indexes are dropped and will
+   be rebuilt lazily on next use. *)
+let compact r =
+  let tuples = Vec.create () in
+  let live = Vec.create () in
+  let present = Tuple.Hashtbl.create (max 64 (cardinal r)) in
+  Vec.iteri
+    (fun row t ->
+      if Vec.get r.live row then begin
+        Tuple.Hashtbl.add present t (Vec.length tuples);
+        Vec.push tuples t;
+        Vec.push live true
+      end)
+    r.tuples;
+  r.tuples <- tuples;
+  r.live <- live;
+  r.present <- present;
+  r.dead_count <- 0;
+  r.indexes <- Array.make (arity r) None
+
+let delete r t =
+  check_arity r t;
+  match Tuple.Hashtbl.find_opt r.present t with
+  | None -> false
+  | Some row ->
+    Tuple.Hashtbl.remove r.present t;
+    Vec.set r.live row false;
+    r.dead_count <- r.dead_count + 1;
+    (* Keep index counts accurate; dead row ids are filtered on read. *)
+    Array.iteri
+      (fun c idx ->
+        match idx with
+        | None -> ()
+        | Some idx -> (
+          let v = t.(c) in
+          match Value.Hashtbl.find_opt idx v with
+          | Some (count, rows) -> Value.Hashtbl.replace idx v (count - 1, rows)
+          | None -> ()))
+      r.indexes;
+    if r.dead_count > Vec.length r.tuples / 2 then compact r;
+    true
+
+let mem r t =
+  check_arity r t;
+  Tuple.Hashtbl.mem r.present t
+
+let iter f r =
+  Vec.iteri (fun row t -> if Vec.get r.live row then f t) r.tuples
+
+let fold f init r =
+  let acc = ref init in
+  iter (fun t -> acc := f !acc t) r;
+  !acc
+
+let to_list r = List.rev (fold (fun acc t -> t :: acc) [] r)
+
+let ensure_index r col =
+  if col < 0 || col >= arity r then
+    invalid_arg (Printf.sprintf "Relation %s: no column %d" (name r) col);
+  match r.indexes.(col) with
+  | Some idx -> idx
+  | None ->
+    let idx = Value.Hashtbl.create (max 16 (cardinal r)) in
+    Vec.iteri
+      (fun row t -> if Vec.get r.live row then index_row idx row t col)
+      r.tuples;
+    r.indexes.(col) <- Some idx;
+    idx
+
+let lookup r ~col v =
+  let idx = ensure_index r col in
+  match Value.Hashtbl.find_opt idx v with
+  | None -> []
+  | Some (_, rows) ->
+    List.filter_map
+      (fun row ->
+        if Vec.get r.live row then Some (Vec.get r.tuples row) else None)
+      rows
+
+let iter_matching r ~col v f =
+  let idx = ensure_index r col in
+  match Value.Hashtbl.find_opt idx v with
+  | None -> ()
+  | Some (_, rows) ->
+    List.iter
+      (fun row -> if Vec.get r.live row then f (Vec.get r.tuples row))
+      rows
+
+let count_matching r ~col v =
+  let idx = ensure_index r col in
+  match Value.Hashtbl.find_opt idx v with
+  | None -> 0
+  | Some (count, _) -> count
+
+let distinct_values r ~col =
+  let idx = ensure_index r col in
+  Value.Hashtbl.fold
+    (fun v (count, _) acc -> if count > 0 then Value.Set.add v acc else acc)
+    idx Value.Set.empty
+
+let distinct_projection r ~cols =
+  fold (fun acc t -> Tuple.Set.add (Tuple.project t cols) acc) Tuple.Set.empty r
+
+let active_domain r =
+  fold
+    (fun acc t -> Array.fold_left (fun acc v -> Value.Set.add v acc) acc t)
+    Value.Set.empty r
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a  -- %d tuples" Schema.pp r.schema (cardinal r);
+  iter (fun t -> Format.fprintf ppf "@,  %a" Tuple.pp t) r;
+  Format.fprintf ppf "@]"

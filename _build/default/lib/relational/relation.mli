@@ -1,0 +1,65 @@
+(** Extensional relations.
+
+    A relation stores a bag-free (set-semantics) collection of tuples of a
+    fixed schema, with lazily-built per-column hash indexes used by the
+    conjunctive-query evaluator to avoid full scans. *)
+
+type t
+
+val create : Schema.t -> t
+
+val schema : t -> Schema.t
+
+val name : t -> string
+
+val arity : t -> int
+
+val cardinal : t -> int
+
+val insert : t -> Tuple.t -> bool
+(** [insert r t] adds [t]; returns [false] (and leaves [r] unchanged) when
+    the tuple was already present.
+    @raise Invalid_argument if [t] has the wrong arity. *)
+
+val insert_list : t -> Tuple.t list -> unit
+
+val delete : t -> Tuple.t -> bool
+(** [delete r t] removes [t]; returns [false] when it was not present.
+    Implemented with tombstones: row slots are marked dead and skipped
+    by scans and index lookups; when more than half of the slots are
+    dead the store and its indexes are compacted.  Supports consuming
+    inventory after a coordinating set books its tuples. *)
+
+val mem : t -> Tuple.t -> bool
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val fold : ('acc -> Tuple.t -> 'acc) -> 'acc -> t -> 'acc
+
+val to_list : t -> Tuple.t list
+
+val lookup : t -> col:int -> Value.t -> Tuple.t list
+(** [lookup r ~col v] is every tuple whose [col]-th field equals [v],
+    served from a hash index (built on first use for that column). *)
+
+val iter_matching : t -> col:int -> Value.t -> (Tuple.t -> unit) -> unit
+(** Like {!lookup} but without materialising the matching list — the
+    evaluator's hot path, where choose-1 search usually stops after a
+    few tuples. *)
+
+val count_matching : t -> col:int -> Value.t -> int
+(** Number of tuples with the given value in the given column, from the
+    index.  Used by the evaluator's selectivity heuristic. *)
+
+val distinct_values : t -> col:int -> Value.Set.t
+(** The active domain of one column. *)
+
+val distinct_projection : t -> cols:int list -> Tuple.Set.t
+(** [distinct_projection r ~cols] is the set of distinct projections of the
+    relation's tuples onto [cols]. *)
+
+val active_domain : t -> Value.Set.t
+(** All values occurring anywhere in the relation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the schema and all tuples, one per line. *)

@@ -1,0 +1,108 @@
+exception Cannot_render of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Cannot_render m)) fmt
+
+let literal = function
+  | Value.Int n -> string_of_int n
+  | Value.Bool true -> "TRUE"
+  | Value.Bool false -> "FALSE"
+  | Value.Str s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c ->
+        if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+
+(* For each atom: an alias t<i>; for each variable: the list of
+   qualified columns where it occurs; for each constant occurrence: a
+   literal predicate. *)
+type analysis = {
+  from_clause : string list;
+  var_columns : (string, string list) Hashtbl.t;  (* first occurrence first *)
+  predicates : string list;
+}
+
+let analyze db (q : Cq.t) =
+  let var_columns = Hashtbl.create 16 in
+  let predicates = ref [] in
+  let from_clause =
+    List.mapi
+      (fun i (a : Cq.atom) ->
+        let r =
+          match Database.relation_opt db a.rel with
+          | Some r -> r
+          | None -> fail "unknown relation %s" a.rel
+        in
+        let schema = Relation.schema r in
+        if Array.length a.args <> Schema.arity schema then
+          fail "atom %s has arity %d, schema says %d" a.rel
+            (Array.length a.args) (Schema.arity schema);
+        let alias = Printf.sprintf "t%d" i in
+        Array.iteri
+          (fun c term ->
+            let column = Printf.sprintf "%s.%s" alias (Schema.attribute schema c) in
+            match term with
+            | Term.Const v ->
+              predicates := Printf.sprintf "%s = %s" column (literal v) :: !predicates
+            | Term.Var x ->
+              let cols = Option.value ~default:[] (Hashtbl.find_opt var_columns x) in
+              Hashtbl.replace var_columns x (cols @ [ column ]))
+          a.args;
+        Printf.sprintf "%s AS %s" a.rel alias)
+      q.atoms
+  in
+  (* Join predicates: every later occurrence of a variable equals its
+     first occurrence. *)
+  let joins =
+    Hashtbl.fold
+      (fun _ cols acc ->
+        match cols with
+        | [] | [ _ ] -> acc
+        | first :: rest ->
+          List.map (fun c -> Printf.sprintf "%s = %s" first c) rest @ acc)
+      var_columns []
+  in
+  {
+    from_clause;
+    var_columns;
+    predicates = List.rev !predicates @ List.sort compare joins;
+  }
+
+let render ?(distinct = false) ?(limit = false) db (q : Cq.t) vars =
+  if q.atoms = [] then "SELECT 1"
+  else begin
+    let a = analyze db q in
+    let projection =
+      match vars with
+      | [] -> [ "1" ]
+      | vars ->
+        List.map
+          (fun x ->
+            match Hashtbl.find_opt a.var_columns x with
+            | Some (col :: _) -> Printf.sprintf "%s AS %s" col x
+            | Some [] | None -> fail "projection variable %s not in query" x)
+          vars
+    in
+    let where =
+      match a.predicates with
+      | [] -> ""
+      | ps -> "\nWHERE " ^ String.concat "\n  AND " ps
+    in
+    Printf.sprintf "SELECT %s%s\nFROM %s%s%s"
+      (if distinct then "DISTINCT " else "")
+      (String.concat ", " projection)
+      (String.concat ", " a.from_clause)
+      where
+      (if limit then "\nLIMIT 1" else "")
+  end
+
+let select ?distinct db q vars =
+  if vars = [] && q.Cq.atoms <> [] then
+    fail "empty projection over a non-empty query; use Sqlgen.exists";
+  render ?distinct db q vars
+
+let exists db q =
+  if q.Cq.atoms = [] then "SELECT 1" else render ~limit:true db q []

@@ -1,0 +1,31 @@
+(** Rendering conjunctive queries as SQL.
+
+    The paper's implementation sends each combined query to MySQL as a
+    single SELECT; this module produces that SELECT for any {!Cq.t}, so
+    combined queries can be inspected, logged, or replayed against a
+    real RDBMS.  Each atom becomes an aliased occurrence of its table in
+    the FROM clause; constants become equality predicates against
+    literals and repeated variables become join predicates (the
+    canonical translation of conjunctive queries).
+
+    The column names come from the relation schemas in the given
+    database; rendering fails on atoms whose relation or arity does not
+    match the schema. *)
+
+exception Cannot_render of string
+
+val select : ?distinct:bool -> Database.t -> Cq.t -> string list -> string
+(** [select db q vars] is a SQL SELECT returning the given variables (in
+    order).  [distinct] adds DISTINCT.  The empty query renders as
+    [SELECT 1].
+    @raise Cannot_render on an unknown relation, an arity mismatch, a
+    projection variable not occurring in the query, or an empty
+    projection over a non-empty query (use {!exists} instead). *)
+
+val exists : Database.t -> Cq.t -> string
+(** A satisfiability probe: [SELECT 1 ... LIMIT 1] — the choose-1 probe
+    of the paper. *)
+
+val literal : Value.t -> string
+(** SQL literal syntax: integers bare, strings single-quoted with
+    quote-doubling, booleans as TRUE/FALSE. *)

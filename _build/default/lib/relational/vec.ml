@@ -1,0 +1,76 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+
+let length v = v.size
+
+let is_empty v = v.size = 0
+
+let check_index v i =
+  if i < 0 || i >= v.size then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds [0,%d)" i v.size)
+
+let grow v =
+  let capacity = Array.length v.data in
+  let new_capacity = if capacity = 0 then 8 else 2 * capacity in
+  (* The dummy slot content is immediately overwritten by [push]; we reuse
+     an existing element so no [Obj.magic] is needed. *)
+  let dummy = if capacity = 0 then None else Some v.data.(0) in
+  match dummy with
+  | None -> ()
+  | Some d ->
+    let data = Array.make new_capacity d in
+    Array.blit v.data 0 data 0 v.size;
+    v.data <- data
+
+let push v x =
+  if v.size = Array.length v.data then begin
+    if Array.length v.data = 0 then v.data <- Array.make 8 x else grow v
+  end;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let of_list xs =
+  let v = create () in
+  List.iter (push v) xs;
+  v
+
+let get v i =
+  check_index v i;
+  v.data.(i)
+
+let set v i x =
+  check_index v i;
+  v.data.(i) <- x
+
+let iter f v =
+  for i = 0 to v.size - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.size - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f init v =
+  let acc = ref init in
+  for i = 0 to v.size - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec loop i = i < v.size && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list v =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
+  loop (v.size - 1) []
+
+let to_array v = Array.sub v.data 0 v.size
+
+let clear v = v.size <- 0

@@ -1,0 +1,42 @@
+(** Growable arrays.
+
+    A tiny dynamic-array substrate used by the relation store.  OCaml 5.1
+    does not ship [Dynarray] (it arrived in 5.2), so we provide the small
+    subset of operations the relational engine needs. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is a fresh, empty vector. *)
+
+val of_list : 'a list -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x] at the end of [v] in amortised O(1). *)
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element.  @raise Invalid_argument if
+    [i < 0 || i >= length v]. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set v i x] replaces the [i]-th element.  @raise Invalid_argument on an
+    out-of-bounds index. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val clear : 'a t -> unit
+(** [clear v] removes all elements, keeping the underlying storage. *)

@@ -1,0 +1,1 @@
+lib/sat/gen.ml: Array Cnf List Printf Prng

@@ -1,0 +1,1 @@
+lib/sat/reduce.ml: Array Cnf Cq Database Entangled Fun List Printf Query Relational String Term Value

@@ -1,0 +1,1 @@
+lib/sat/reduce.mli: Cnf Database Entangled Query Relational

@@ -1,0 +1,154 @@
+(* Clause state during search: literals are checked against a partial
+   assignment; Unknown variables are 0. *)
+type partial = int array (* 0 = unassigned, 1 = true, -1 = false *)
+
+let literal_status (p : partial) (l : Cnf.literal) =
+  match p.(l.var) with
+  | 0 -> `Unassigned
+  | 1 -> if l.positive then `True else `False
+  | _ -> if l.positive then `False else `True
+
+(* Returns [`Sat] when the clause is already satisfied, [`Conflict] when
+   all literals are false, [`Unit l] when a single literal remains, and
+   [`Open] otherwise. *)
+let clause_status p clause =
+  let rec loop unassigned = function
+    | [] -> (
+      match unassigned with
+      | [] -> `Conflict
+      | [ l ] -> `Unit l
+      | _ -> `Open)
+    | l :: rest -> (
+      match literal_status p l with
+      | `True -> `Sat
+      | `False -> loop unassigned rest
+      | `Unassigned -> loop (l :: unassigned) rest)
+  in
+  loop [] clause
+
+exception Conflict
+
+(* Unit propagation to fixpoint; raises [Conflict] on an empty clause.
+   Returns the list of variables assigned (for undo). *)
+let propagate (f : Cnf.t) (p : partial) =
+  let trail = ref [] in
+  let assign (l : Cnf.literal) =
+    p.(l.var) <- (if l.positive then 1 else -1);
+    trail := l.var :: !trail
+  in
+  let changed = ref true in
+  (try
+     while !changed do
+       changed := false;
+       List.iter
+         (fun clause ->
+           match clause_status p clause with
+           | `Conflict -> raise Conflict
+           | `Unit l ->
+             assign l;
+             changed := true
+           | `Sat | `Open -> ())
+         f.clauses
+     done
+   with Conflict ->
+     List.iter (fun v -> p.(v) <- 0) !trail;
+     raise Conflict);
+  !trail
+
+let pure_literals (f : Cnf.t) (p : partial) =
+  let polarity = Array.make (f.num_vars + 1) 0 in
+  (* 0 unseen, 1 positive only, -1 negative only, 2 mixed *)
+  List.iter
+    (fun clause ->
+      if clause_status p clause <> `Sat then
+        List.iter
+          (fun (l : Cnf.literal) ->
+            if p.(l.var) = 0 then
+              let pol = if l.positive then 1 else -1 in
+              match polarity.(l.var) with
+              | 0 -> polarity.(l.var) <- pol
+              | x when x = pol -> ()
+              | _ -> polarity.(l.var) <- 2)
+          clause)
+    f.clauses;
+  let pures = ref [] in
+  Array.iteri
+    (fun v pol -> if v > 0 && (pol = 1 || pol = -1) then pures := (v, pol) :: !pures)
+    polarity;
+  !pures
+
+let solve (f : Cnf.t) =
+  let p = Array.make (f.num_vars + 1) 0 in
+  let rec search () =
+    let trail =
+      try propagate f p with Conflict -> raise Exit
+    in
+    let undo () = List.iter (fun v -> p.(v) <- 0) trail in
+    (* Pure-literal elimination. *)
+    let pures = pure_literals f p in
+    let pure_trail =
+      List.filter_map
+        (fun (v, pol) ->
+          if p.(v) = 0 then begin
+            p.(v) <- pol;
+            Some v
+          end
+          else None)
+        pures
+    in
+    let undo_all () =
+      List.iter (fun v -> p.(v) <- 0) pure_trail;
+      undo ()
+    in
+    let all_sat =
+      List.for_all (fun c -> clause_status p c = `Sat) f.clauses
+    in
+    if all_sat then true
+    else begin
+      let branch_var =
+        let rec find v = if v > f.num_vars then None else if p.(v) = 0 then Some v else find (v + 1) in
+        find 1
+      in
+      match branch_var with
+      | None ->
+        (* Everything assigned but some clause unsatisfied. *)
+        undo_all ();
+        raise Exit
+      | Some v ->
+        let try_value value =
+          p.(v) <- value;
+          let ok = try search () with Exit -> false in
+          if not ok then p.(v) <- 0;
+          ok
+        in
+        if try_value 1 || try_value (-1) then true
+        else begin
+          undo_all ();
+          raise Exit
+        end
+    end
+  in
+  match (try search () with Exit -> false) with
+  | false -> None
+  | true ->
+    Some (Array.init (f.num_vars + 1) (fun v -> v > 0 && p.(v) = 1))
+
+let satisfiable f = Option.is_some (solve f)
+
+let count_models (f : Cnf.t) =
+  if f.num_vars > 20 then invalid_arg "Dpll.count_models: too many variables";
+  let count = ref 0 in
+  let a = Array.make (f.num_vars + 1) false in
+  let rec go v =
+    if v > f.num_vars then begin
+      if Cnf.eval f a then incr count
+    end
+    else begin
+      a.(v) <- false;
+      go (v + 1);
+      a.(v) <- true;
+      go (v + 1)
+    end
+  in
+  go 1;
+  !count

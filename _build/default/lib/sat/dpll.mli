@@ -1,0 +1,18 @@
+(** A DPLL satisfiability solver: unit propagation, pure-literal
+    elimination, first-unassigned-variable branching.
+
+    Used as independent ground truth when testing the paper's hardness
+    reductions (Theorems 1 and 2, Appendix B): formula satisfiability
+    must coincide with coordinating-set existence on the reduced
+    instance. *)
+
+val solve : Cnf.t -> Cnf.assignment option
+(** A satisfying assignment (index 0 unused), or [None] when
+    unsatisfiable.  Variables not forced either way come back [false]. *)
+
+val satisfiable : Cnf.t -> bool
+
+val count_models : Cnf.t -> int
+(** Number of satisfying assignments over all [num_vars] variables —
+    exhaustive, for tiny formulas in tests.
+    @raise Invalid_argument when [num_vars > 20]. *)

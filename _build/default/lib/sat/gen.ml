@@ -1,0 +1,35 @@
+let random_clause rng ~k ~num_vars =
+  let vars = Prng.sample_distinct rng k num_vars in
+  List.map (fun v0 -> if Prng.bool rng then v0 + 1 else -(v0 + 1)) vars
+
+let random_ksat rng ~k ~num_vars ~num_clauses =
+  if num_vars < k then
+    invalid_arg (Printf.sprintf "Gen.random_ksat: need >= %d variables" k);
+  Cnf.make ~num_vars
+    (List.init num_clauses (fun _ -> random_clause rng ~k ~num_vars))
+
+let random_3sat rng ~num_vars ~num_clauses =
+  random_ksat rng ~k:3 ~num_vars ~num_clauses
+
+let planted_3sat rng ~num_vars ~num_clauses =
+  if num_vars < 3 then invalid_arg "Gen.planted_3sat: need >= 3 variables";
+  let planted = Array.init (num_vars + 1) (fun v -> v > 0 && Prng.bool rng) in
+  let clause () =
+    let vars = Prng.sample_distinct rng 3 num_vars in
+    let lits =
+      List.map (fun v0 -> if Prng.bool rng then v0 + 1 else -(v0 + 1)) vars
+    in
+    let satisfied =
+      List.exists
+        (fun l -> if l > 0 then planted.(l) else not planted.(-l))
+        lits
+    in
+    if satisfied then lits
+    else
+      (* Flip one literal so the planted assignment satisfies it. *)
+      match lits with
+      | l :: rest -> -l :: rest
+      | [] -> assert false
+  in
+  let f = Cnf.make ~num_vars (List.init num_clauses (fun _ -> clause ())) in
+  (f, planted)

@@ -1,0 +1,274 @@
+open Relational
+open Entangled
+
+type instance = {
+  db : Database.t;
+  queries : Query.t array;
+}
+
+let atom rel args = { Cq.rel; args = Array.of_list args }
+
+let cint n = Term.Const (Value.Int n)
+let cstr s = Term.Const (Value.Str s)
+
+let clause_rel j = Printf.sprintf "C%d" j
+let var_rel i = Printf.sprintf "R%d" i
+
+(* Database with the unary relation D = {0, 1}: every conjunctive query
+   over it is trivially decidable, which is the point of Theorem 1. *)
+let boolean_db () =
+  let db = Database.create () in
+  ignore (Database.create_table' db "D" [ "v" ]);
+  Database.insert db "D" [ Value.Int 0 ];
+  Database.insert db "D" [ Value.Int 1 ];
+  db
+
+let clauses_numbered (f : Cnf.t) = List.mapi (fun j c -> (j + 1, c)) f.clauses
+
+(* Clauses containing variable [i] with the given polarity. *)
+let occurrences f i ~positive =
+  List.filter_map
+    (fun (j, c) ->
+      if
+        List.exists
+          (fun (l : Cnf.literal) -> l.var = i && l.positive = positive)
+          c
+      then Some j
+      else None)
+    (clauses_numbered f)
+
+let to_entangled (f : Cnf.t) =
+  let db = boolean_db () in
+  let k_clauses = clauses_numbered f in
+  let clause_query =
+    Query.make ~name:"clause_query"
+      ~post:(List.map (fun (j, _) -> atom (clause_rel j) [ cint 1 ]) k_clauses)
+      ~head:[ atom "C" [ cint 1 ] ]
+      []
+  in
+  let val_query i =
+    Query.make
+      ~name:(Printf.sprintf "val_%d" i)
+      ~post:[ atom "C" [ cint 1 ] ]
+      ~head:[ atom (var_rel i) [ Term.Var "x" ] ]
+      [ atom "D" [ Term.Var "x" ] ]
+  in
+  let literal_query i ~positive =
+    let name = if positive then "true_" else "false_" in
+    let heads =
+      List.map
+        (fun j -> atom (clause_rel j) [ cint 1 ])
+        (occurrences f i ~positive)
+    in
+    if heads = [] then None
+    else
+      Some
+        (Query.make
+           ~name:(Printf.sprintf "%s%d" name i)
+           ~post:[ atom (var_rel i) [ cint (if positive then 1 else 0) ] ]
+           ~head:heads [])
+  in
+  let literal_queries =
+    List.concat_map
+      (fun i ->
+        List.filter_map Fun.id
+          [ literal_query i ~positive:true; literal_query i ~positive:false ])
+      (List.init f.num_vars (fun i -> i + 1))
+  in
+  let queries =
+    Query.rename_set
+      ((clause_query :: List.map val_query (List.init f.num_vars (fun i -> i + 1)))
+      @ literal_queries)
+  in
+  { db; queries }
+
+let member_names (queries : Query.t array) members =
+  List.map (fun i -> queries.(i).Query.name) members
+
+let decode_by_names (f : Cnf.t) names =
+  let a = Array.make (f.num_vars + 1) false in
+  List.iter
+    (fun name ->
+      match String.index_opt name '_' with
+      | Some pos when String.sub name 0 pos = "true" || String.sub name 0 pos = "pos" ->
+        let i = int_of_string (String.sub name (pos + 1) (String.length name - pos - 1)) in
+        if i >= 1 && i <= f.num_vars then a.(i) <- true
+      | Some _ | None -> ())
+    names;
+  a
+
+let decode_entangled f (inst : instance) members =
+  decode_by_names f (member_names inst.queries members)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 2                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type max_instance = {
+  mdb : Database.t;
+  mqueries : Query.t array;
+  target : int;
+}
+
+let to_entangled_max (f : Cnf.t) =
+  if not (Cnf.is_three_cnf f) then
+    invalid_arg "Reduce.to_entangled_max: formula must be exact-3SAT";
+  let db = boolean_db () in
+  let val_query j =
+    Query.make
+      ~name:(Printf.sprintf "val_%d" j)
+      ~post:[]
+      ~head:[ atom (var_rel j) [ Term.Var "x" ] ]
+      [ atom "D" [ Term.Var "x" ] ]
+  in
+  (* For clause i = l1 v l2 v l3, query t is satisfied exactly when
+     literal t is the first satisfied literal of the clause. *)
+  let clause_queries (i, lits) =
+    let bit (l : Cnf.literal) = if l.positive then 1 else 0 in
+    List.mapi
+      (fun t _ ->
+        let this = List.nth lits t in
+        let earlier = List.filteri (fun t' _ -> t' < t) lits in
+        let posts =
+          atom (var_rel this.Cnf.var) [ cint (bit this) ]
+          :: List.map
+               (fun (l : Cnf.literal) ->
+                 atom (var_rel l.var) [ cint (1 - bit l) ])
+               (List.rev earlier)
+        in
+        Query.make
+          ~name:(Printf.sprintf "c%d_%d" i (t + 1))
+          ~post:posts
+          ~head:[ atom (clause_rel i) [ cint 1 ] ]
+          [])
+      lits
+  in
+  let queries =
+    Query.rename_set
+      (List.map val_query (List.init f.num_vars (fun j -> j + 1))
+      @ List.concat_map clause_queries (clauses_numbered f))
+  in
+  { mdb = db; mqueries = queries; target = Cnf.clause_count f + f.num_vars }
+
+let decode_entangled_max (f : Cnf.t) (inst : max_instance) members =
+  (* A member c<i>_<t> pins the polarities of literal t and all earlier
+     literals of clause i.  Unchosen variables default to false. *)
+  let a = Array.make (f.num_vars + 1) false in
+  let numbered = clauses_numbered f in
+  List.iter
+    (fun m ->
+      let name = inst.mqueries.(m).Query.name in
+      match String.length name > 0 && name.[0] = 'c' with
+      | false -> ()
+      | true -> (
+        match String.split_on_char '_' (String.sub name 1 (String.length name - 1)) with
+        | [ si; st ] -> (
+          match (int_of_string_opt si, int_of_string_opt st) with
+          | Some i, Some t -> (
+            match List.assoc_opt i numbered with
+            | None -> ()
+            | Some lits ->
+              List.iteri
+                (fun t' (l : Cnf.literal) ->
+                  if t' < t then
+                    (* literal t (1-based) true, earlier ones false *)
+                    let truth = if t' = t - 1 then l.positive else not l.positive in
+                    a.(l.var) <- truth)
+                lits)
+          | _ -> ())
+        | _ -> ()))
+    members;
+  a
+
+let max_coordinating_size (f : Cnf.t) =
+  if f.num_vars > 20 then
+    invalid_arg "Reduce.max_coordinating_size: too many variables";
+  let a = Array.make (f.num_vars + 1) false in
+  let best = ref 0 in
+  let satisfied_clauses () =
+    List.length (List.filter (fun c -> Cnf.eval_clause c a) f.clauses)
+  in
+  let rec go v =
+    if v > f.num_vars then best := max !best (satisfied_clauses ())
+    else begin
+      a.(v) <- false;
+      go (v + 1);
+      a.(v) <- true;
+      go (v + 1)
+    end
+  in
+  go 1;
+  f.num_vars + !best
+
+(* ------------------------------------------------------------------ *)
+(* Appendix B                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lit_user (l : Cnf.literal) =
+  if l.positive then Printf.sprintf "X%d" l.var else Printf.sprintf "Xs%d" l.var
+
+let to_mixed_consistent (f : Cnf.t) =
+  let db = Database.create () in
+  ignore (Database.create_table' db "Fl" [ "fid"; "date" ]);
+  Database.insert db "Fl" [ Value.Int 1; Value.Str "1MAR" ];
+  Database.insert db "Fl" [ Value.Int 2; Value.Str "2MAR" ];
+  ignore (Database.create_table' db "Fr" [ "user"; "friend" ]);
+  let numbered = clauses_numbered f in
+  List.iter
+    (fun (j, lits) ->
+      List.iter
+        (fun l ->
+          Database.insert db "Fr"
+            [ Value.Str (clause_rel j); Value.Str (lit_user l) ])
+        lits)
+    numbered;
+  let fl x d = atom "Fl" [ x; d ] in
+  let q_c =
+    let ys = List.map (fun (j, _) -> (j, Term.Var (Printf.sprintf "y%d" j))) numbered in
+    Query.make ~name:"qC"
+      ~post:(List.map (fun (j, y) -> atom "R" [ y; cstr (clause_rel j) ]) ys)
+      ~head:[ atom "R" [ Term.Var "x"; cstr "C" ] ]
+      (fl (Term.Var "x") (cstr "1MAR")
+      :: List.map (fun (_, y) -> fl y (cstr "1MAR")) ys)
+  in
+  let q_clause (j, _) =
+    Query.make
+      ~name:(Printf.sprintf "clause_%d" j)
+      ~post:[ atom "R" [ Term.Var "y"; Term.Var "f" ] ]
+      ~head:[ atom "R" [ Term.Var "x"; cstr (clause_rel j) ] ]
+      [
+        atom "Fr" [ cstr (clause_rel j); Term.Var "f" ];
+        fl (Term.Var "x") (cstr "1MAR");
+        fl (Term.Var "y") (Term.Var "d");
+      ]
+  in
+  let q_literal i ~positive =
+    let date = if positive then "1MAR" else "2MAR" in
+    let name = if positive then "pos_" else "neg_" in
+    Query.make
+      ~name:(Printf.sprintf "%s%d" name i)
+      ~post:[ atom "R" [ Term.Var "y"; cstr (Printf.sprintf "S%d" i) ] ]
+      ~head:
+        [ atom "R" [ Term.Var "x"; cstr (lit_user { Cnf.var = i; positive }) ] ]
+      [ fl (Term.Var "x") (cstr date); fl (Term.Var "y") (cstr date) ]
+  in
+  let q_selector i =
+    Query.make
+      ~name:(Printf.sprintf "sel_%d" i)
+      ~post:[ atom "R" [ Term.Var "y"; cstr "C" ] ]
+      ~head:[ atom "R" [ Term.Var "x"; cstr (Printf.sprintf "S%d" i) ] ]
+      [ fl (Term.Var "x") (Term.Var "d"); fl (Term.Var "y") (Term.Var "d2") ]
+  in
+  let vars = List.init f.num_vars (fun i -> i + 1) in
+  let queries =
+    Query.rename_set
+      ((q_c :: List.map q_clause numbered)
+      @ List.concat_map
+          (fun i ->
+            [ q_literal i ~positive:true; q_literal i ~positive:false; q_selector i ])
+          vars)
+  in
+  { db; queries }
+
+let decode_mixed f (inst : instance) members =
+  decode_by_names f (member_names inst.queries members)

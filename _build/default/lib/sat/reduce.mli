@@ -1,0 +1,67 @@
+(** The paper's hardness reductions, as executable instance generators.
+
+    Each reduction turns a 3SAT formula into an entangled-query instance
+    whose database is trivial (a unary relation over [{0,1}], or two
+    flights), exactly as in Section 3 and Appendices A and B.  Decoders
+    map a coordinating set back to a truth assignment, so tests can close
+    the loop against the {!Dpll} solver. *)
+
+open Relational
+open Entangled
+
+(** {2 Theorem 1: 3SAT <= Entangled(Qall)} *)
+
+type instance = {
+  db : Database.t;
+  queries : Query.t array;   (** renamed apart, ready for the solvers *)
+}
+
+val to_entangled : Cnf.t -> instance
+(** The Clause-Query / x-Val / x-True / x-False construction.  Literal
+    queries whose head would be empty (a variable with no occurrence of
+    that polarity) are omitted; they could never contribute. *)
+
+val decode_entangled : Cnf.t -> instance -> int list -> Cnf.assignment
+(** Reads an assignment off a coordinating set (member indexes):
+    [x-True] in the set means true, [x-False] false, absent defaults to
+    false. *)
+
+(** {2 Theorem 2: 3SAT <= EntangledMax(Qsafe)} *)
+
+type max_instance = {
+  mdb : Database.t;
+  mqueries : Query.t array;
+  target : int;  (** k + m: max coordinating set reaches this iff satisfiable *)
+}
+
+val to_entangled_max : Cnf.t -> max_instance
+(** The one-literal-witness gadget: per clause [l1 v l2 v l3], three safe
+    queries whose postconditions force at most one of them into any
+    coordinating set.  Requires [Cnf.is_three_cnf].
+    @raise Invalid_argument otherwise. *)
+
+val decode_entangled_max : Cnf.t -> max_instance -> int list -> Cnf.assignment
+
+val max_coordinating_size : Cnf.t -> int
+(** The exact maximum coordinating-set size of the Theorem-2 instance,
+    computed analytically as [num_vars + MaxSAT(f)] by enumerating all
+    assignments (so [num_vars <= 20] required).
+
+    Why this is the maximum: the variable queries [q(x_j)] have no
+    postconditions, so any coordinating set extends with all of them;
+    and for a clause [i], the three gadget queries pairwise clash on some
+    [R_j] value, so at most one per clause joins — exactly one is
+    compatible with an assignment [h] iff [h] satisfies the clause.
+    This lets tests cover unsatisfiable formulas (which need >= 8
+    clauses, i.e. more queries than {!Coordination.Brute} can
+    enumerate). *)
+
+(** {2 Appendix B: mixed coordination attributes} *)
+
+val to_mixed_consistent : Cnf.t -> instance
+(** The flights/friends construction showing that letting some queries
+    coordinate on attribute [A0] and others on [A0, A1] re-encodes 3SAT.
+    The resulting set is unsafe; solve it with {!Coordination.Brute} on
+    tiny formulas. *)
+
+val decode_mixed : Cnf.t -> instance -> int list -> Cnf.assignment

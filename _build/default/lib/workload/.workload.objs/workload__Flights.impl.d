@@ -1,0 +1,1 @@
+lib/workload/flights.ml: Coordination Database List Printf Prng Relation Relational Schema Value

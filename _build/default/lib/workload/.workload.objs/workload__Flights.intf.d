@@ -1,0 +1,1 @@
+lib/workload/flights.mli: Coordination Database Prng Relation Relational Schema Value

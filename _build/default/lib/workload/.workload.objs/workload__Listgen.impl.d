@@ -1,0 +1,1 @@
+lib/workload/listgen.ml: Cq Database Entangled List Printf Prng Query Relational Social Term Value

@@ -1,0 +1,1 @@
+lib/workload/listgen.mli: Database Entangled Prng Query Relational Value

@@ -1,0 +1,1 @@
+lib/workload/meetings.ml: Coordination Database List Option Printf Relation Relational Schema Value

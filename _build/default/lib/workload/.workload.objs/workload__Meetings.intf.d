@@ -1,0 +1,1 @@
+lib/workload/meetings.mli: Coordination Database Relation Relational Schema Value

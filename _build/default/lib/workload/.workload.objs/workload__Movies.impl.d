@@ -1,0 +1,1 @@
+lib/workload/movies.ml: Coordination Database List Relation Relational Schema Value

@@ -1,0 +1,1 @@
+lib/workload/movies.mli: Coordination Database Relational Schema Value

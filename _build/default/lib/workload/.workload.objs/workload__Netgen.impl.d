@@ -1,0 +1,1 @@
+lib/workload/netgen.ml: Cq Database Entangled Graphs List Listgen Printf Prng Query Relational Scale_free Social Term Value

@@ -1,0 +1,1 @@
+lib/workload/netgen.mli: Database Entangled Graphs Prng Query Relational

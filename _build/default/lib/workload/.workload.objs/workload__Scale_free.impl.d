@@ -1,0 +1,1 @@
+lib/workload/scale_free.ml: Array Graphs Hashtbl Int List Option Prng

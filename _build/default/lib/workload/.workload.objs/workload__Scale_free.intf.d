@@ -1,0 +1,1 @@
+lib/workload/scale_free.mli: Graphs Prng

@@ -1,0 +1,1 @@
+lib/workload/social.ml: Database Printf Relation Relational Schema Value

@@ -1,0 +1,33 @@
+(** Meeting scheduling — the introduction's "professionals scheduling
+    joint meetings".
+
+    A [Slots(slotId, day, hour, room)] table lists bookable meeting
+    slots; professionals coordinate on the day and hour (the room is
+    personal — video links exist).  A {e committee} is a group whose
+    members must all meet: each member names every other member as a
+    coordination partner, so the committee forms a clique in the
+    coordination graph.  When committees share a member, their cliques
+    connect and the whole component must settle on one (day, hour). *)
+
+open Relational
+
+val slots_schema : Schema.t
+
+val config : Coordination.Consistent_query.config
+(** Coordination on (day, hour); friends relation ["Colleagues"]
+    (used only by queries with pool partners, not by committees). *)
+
+val install_slots :
+  Database.t -> days:int -> hours:int -> rooms:int -> Relation.t
+(** One slot per (day, hour, room) combination: day ["d<i>"], hour
+    ["h<j>"], room ["r<k>"], sequential ids. *)
+
+val committee_queries :
+  ?pins:(Value.t * int) list ->
+  Value.t list list ->
+  Coordination.Consistent_query.t list
+(** [committee_queries committees] builds one query per distinct member;
+    a member of several committees names the union of her colleagues.
+    [pins] optionally fixes a member's required day (by index) — the
+    "the chair is only free on Thursday" constraint.
+    @raise Invalid_argument on a committee with fewer than 2 members. *)

@@ -1,0 +1,35 @@
+open Relational
+open Entangled
+
+let queries_of_graph ?(topics = 100) rng g =
+  List.init (Graphs.Digraph.node_count g) (fun i ->
+      let post =
+        List.mapi
+          (fun k j ->
+            {
+              Cq.rel = "R";
+              args = [| Term.Const (Listgen.user j); Term.Var (Printf.sprintf "y%d" k) |];
+            })
+          (Graphs.Digraph.successors g i)
+      in
+      Query.make
+        ~name:(Printf.sprintf "u%d" i)
+        ~post
+        ~head:[ { Cq.rel = "R"; args = [| Term.Const (Listgen.user i); Term.Var "x" |] } ]
+        [
+          {
+            Cq.rel = "Posts";
+            args =
+              [|
+                Term.Var "x";
+                Term.Const (Value.Str (Social.topic (Prng.int rng topics)));
+              |];
+          };
+        ])
+
+let make ?rows ?(topics = 100) ?(edges_per_node = 2) ~seed n =
+  let rng = Prng.create seed in
+  let db = Database.create () in
+  ignore (Social.install_posts ?rows ~topics db);
+  let g = Scale_free.generate rng ~nodes:n ~edges_per_node in
+  (db, queries_of_graph ~topics rng g, g)

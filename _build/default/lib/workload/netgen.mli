@@ -1,0 +1,21 @@
+(** The scale-free workload of Figures 5 and 6.
+
+    Each query corresponds to a node of a Barabási–Albert digraph; its
+    coordination partners are its successors, as in Section 6.1.  The
+    set is safe (each postcondition names one specific user) and not
+    unique. *)
+
+open Relational
+open Entangled
+
+val queries_of_graph : ?topics:int -> Prng.t -> Graphs.Digraph.t -> Query.t list
+(** Query [i]: [{R(u<j>, y<j>) : j successor of i} R(u<i>, x) :-
+    Posts(x, t)]. *)
+
+val make :
+  ?rows:int ->
+  ?topics:int ->
+  ?edges_per_node:int ->
+  seed:int ->
+  int ->
+  Database.t * Query.t list * Graphs.Digraph.t

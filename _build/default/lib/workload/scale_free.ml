@@ -1,0 +1,52 @@
+let generate rng ~nodes ~edges_per_node =
+  if nodes < 1 then invalid_arg "Scale_free.generate: nodes < 1";
+  if edges_per_node < 1 then invalid_arg "Scale_free.generate: edges_per_node < 1";
+  let g = Graphs.Digraph.create nodes in
+  (* Preferential attachment via a repeated-endpoints urn: every target
+     endpoint appears once per received edge, plus once unconditionally
+     so isolated nodes stay reachable. *)
+  let urn = ref [] in
+  let urn_size = ref 0 in
+  let add_to_urn v =
+    urn := v :: !urn;
+    incr urn_size
+  in
+  add_to_urn 0;
+  let urn_array = ref [||] in
+  let urn_dirty = ref true in
+  let draw_target () =
+    if !urn_dirty then begin
+      urn_array := Array.of_list !urn;
+      urn_dirty := false
+    end;
+    (!urn_array).(Prng.int rng !urn_size)
+  in
+  for v = 1 to nodes - 1 do
+    let wanted = min edges_per_node v in
+    let chosen = Hashtbl.create 4 in
+    (* Rejection-sample distinct targets; v existing nodes guarantee
+       termination because wanted <= v. *)
+    while Hashtbl.length chosen < wanted do
+      let t = draw_target () in
+      if t <> v && not (Hashtbl.mem chosen t) then Hashtbl.add chosen t ()
+    done;
+    Hashtbl.iter
+      (fun t () ->
+        Graphs.Digraph.add_edge g v t;
+        add_to_urn t;
+        urn_dirty := true)
+      chosen;
+    add_to_urn v;
+    urn_dirty := true
+  done;
+  g
+
+let in_degree_histogram g =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let d = Graphs.Digraph.in_degree g v in
+      Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d)))
+    (Graphs.Digraph.nodes g);
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

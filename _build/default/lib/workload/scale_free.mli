@@ -1,0 +1,14 @@
+(** Scale-free directed networks (Barabási–Albert preferential
+    attachment), the coordination-structure model of the paper's second
+    and third experiments (citing [1] = Barabási & Albert 1999). *)
+
+val generate : Prng.t -> nodes:int -> edges_per_node:int -> Graphs.Digraph.t
+(** [generate rng ~nodes ~edges_per_node] grows a graph node by node;
+    each new node draws [edges_per_node] distinct targets among existing
+    nodes with probability proportional to (in-degree + 1), and points an
+    edge at each.  The first node has no edges.
+    @raise Invalid_argument when [nodes < 1] or [edges_per_node < 1]. *)
+
+val in_degree_histogram : Graphs.Digraph.t -> (int * int) list
+(** [(degree, count)] pairs, ascending degree — lets tests check the
+    heavy-tailed shape. *)

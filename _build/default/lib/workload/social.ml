@@ -1,0 +1,15 @@
+open Relational
+
+let slashdot_row_count = 82168
+
+let posts_schema = Schema.make "Posts" [ "pid"; "topic" ]
+
+let topic i = Printf.sprintf "t%d" i
+
+let install_posts ?(rows = slashdot_row_count) ?(topics = 100) db =
+  let r = Database.create_table db posts_schema in
+  for pid = 0 to rows - 1 do
+    ignore
+      (Relation.insert r [| Value.Int pid; Value.Str (topic (pid mod topics)) |])
+  done;
+  r

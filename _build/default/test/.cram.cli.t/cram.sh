@@ -1,0 +1,18 @@
+  $ entangle check figure1.eq
+  $ entangle solve figure1.eq
+  $ entangle solve figure1.eq --algorithm gupta
+  $ entangle solve figure1.eq --algorithm brute
+  $ entangle solve unsafe.eq
+  $ entangle solve figure1.eq --explain | grep -v "probes="
+  $ entangle generate list -n 3 --rows 4 --seed 1
+  $ entangle repl --consume <<'REPL'
+  > table Flights(fid, dest).
+  > fact Flights(101, Zurich).
+  > query gwyneth: { R(Chris, x) } R(Gwyneth, x) :- Flights(x, Zurich).
+  > \pending
+  > query chris: { } R(Chris, y) :- Flights(y, Zurich).
+  > query amy: { R(Ben, u) } R(Amy, u) :- Flights(u, Zurich).
+  > query ben: { R(Amy, v) } R(Ben, v) :- Flights(v, Zurich).
+  > \pending
+  > \quit
+  > REPL

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Cq Database Entangled List QCheck QCheck_alcotest Relational Term Tuple Value

@@ -1,0 +1,1 @@
+test/test_algorithms.ml: Alcotest Array Coordination Cq Database Entangled Format Fun Helpers List Printf Prng QCheck Query Relation Relational Solution String Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_containment.ml: Alcotest Array Containment Coordination Cq Database Entangled Eval Format Helpers List Option Printf QCheck Query Relation Relational Term

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Cq Database Eval Format Helpers List Printf QCheck Relational String Term Tuple Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Combine Coordination Coordination_graph Cq Database Entangled Helpers List Printf Prng QCheck Query Relation Relational Sqlgen String Value Workload

@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Array Digraph Dot Graphs Helpers List Printf QCheck Reach Scc String Topo

@@ -1,0 +1,1 @@
+test/test_prop1.ml: Alcotest Coordination Database Entangled Helpers List Printf Prng QCheck Relation Relational Schema Tuple Value Workload

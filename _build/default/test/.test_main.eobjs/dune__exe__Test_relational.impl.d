@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Cq Csv_io Database Eval Filename Helpers List QCheck Relation Relational Schema Sys Tuple Value Vec

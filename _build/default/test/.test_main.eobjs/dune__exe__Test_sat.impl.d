@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Coordination Entangled Format Gen Helpers Prng QCheck Sat

@@ -1,0 +1,1 @@
+test/test_single_connected.ml: Alcotest Coordination Coordination_graph Entangled Helpers List Option Printf Query Safety Solution

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Coordination Database Entangled Eval Fun Graphs Helpers List Prng QCheck Relation Relational Tuple Value Workload

@@ -1,0 +1,8 @@
+table F(flightId, destination).
+table H(hotelId, location).
+fact F(70, Paris).   fact F(71, Paris).   fact F(80, Athens).
+fact H(7, Paris).    fact H(8, Athens).   fact H(9, Madrid).
+query qC: { R(G, x1) }            R(C, x1), Q(C, x2) :- F(x1, x), H(x2, x).
+query qG: { R(C, y1), Q(C, y2) }  R(G, y1), Q(G, y2) :- F(y1, Paris), H(y2, Paris).
+query qJ: { R(C, z1), R(G, z1) }  R(J, z1), Q(J, z2) :- F(z1, Athens), H(z2, Athens).
+query qW: { R(C, w1), Q(J, w2) }  R(W, w1), Q(W, w2) :- F(w1, Madrid), H(w2, Madrid).

@@ -1,0 +1,99 @@
+The Section 2.2 flight-hotel program: classification first.
+
+  $ entangle check figure1.eq
+  queries:    4
+  database:   2 relations, 6 tuples
+  graph:      6 edges (7 extended)
+  class:      safe, not unique (scc)
+  components: 3 SCCs, largest 2
+
+Solving finds Chris and Guy travelling together (the paper's answer).
+
+  $ entangle solve figure1.eq
+  coordinating set {qC, qG}
+  assignment: {q0.x -> Paris, q0.x1 -> 71, q0.x2 -> 7, q1.y1 -> 71, q1.y2 -> 7}
+
+The baseline refuses non-unique sets.
+
+  $ entangle solve figure1.eq --algorithm gupta
+  baseline not applicable: query set is not unique
+  [1]
+
+Brute force agrees with the SCC algorithm here.
+
+  $ entangle solve figure1.eq --algorithm brute
+  coordinating set {qC, qG}
+  assignment: {q0.x -> Paris, q0.x1 -> 71, q0.x2 -> 7, q1.y1 -> 71, q1.y2 -> 7}
+
+An unsafe program is rejected with advice.
+
+  $ entangle solve unsafe.eq
+  the query set is not safe (1 ambiguous postconditions); try the consistent-coordination API or `--algorithm brute`
+  [1]
+
+The explain trace shows the combined SQL per component (timings stripped).
+
+  $ entangle solve figure1.eq --explain | grep -v "probes="
+  -- SCC coordination trace (4 queries) --
+  component {qC, qG}: candidate set {qC, qG}
+    SELECT 1
+  FROM F AS t0, H AS t1, F AS t2, H AS t3
+  WHERE t2.destination = 'Paris'
+    AND t3.location = 'Paris'
+    AND t0.destination = t1.location
+    AND t0.flightId = t2.flightId
+    AND t1.hotelId = t3.hotelId
+  LIMIT 1
+    => satisfiable: candidate recorded
+  component {qJ}: candidate set {qC, qG, qJ}
+    SELECT 1
+  FROM F AS t0, H AS t1, F AS t2, H AS t3, F AS t4, H AS t5
+  WHERE t2.destination = 'Paris'
+    AND t3.location = 'Paris'
+    AND t4.destination = 'Athens'
+    AND t5.location = 'Athens'
+    AND t0.destination = t1.location
+    AND t0.flightId = t2.flightId
+    AND t0.flightId = t4.flightId
+    AND t1.hotelId = t3.hotelId
+  LIMIT 1
+    => unsatisfiable: candidate fails
+  component {qW}: skipped, a needed component failed
+  result: coordinating set {qC, qG}
+          assignment: {q0.x -> Paris, q0.x1 -> 71, q0.x2 -> 7, q1.y1 -> 71,
+                       q1.y2 -> 7}
+
+Workload generation is deterministic from the seed.
+
+  $ entangle generate list -n 3 --rows 4 --seed 1
+  table Posts(pid, topic).
+  fact Posts(0, 't0').
+  fact Posts(1, 't1').
+  fact Posts(2, 't2').
+  fact Posts(3, 't3').
+  query u0: { R('u1', y) } R('u0', x) :- Posts(x, 't0').
+  query u1: { R('u2', y) } R('u1', x) :- Posts(x, 't1').
+  query u2: {  } R('u2', x) :- Posts(x, 't1').
+
+The REPL is an online coordination server; with --consume, coordinated
+sets book their tuples and later arrivals find them gone.
+
+  $ entangle repl --consume <<'REPL'
+  > table Flights(fid, dest).
+  > fact Flights(101, Zurich).
+  > query gwyneth: { R(Chris, x) } R(Gwyneth, x) :- Flights(x, Zurich).
+  > \pending
+  > query chris: { } R(Chris, y) :- Flights(y, Zurich).
+  > query amy: { R(Ben, u) } R(Amy, u) :- Flights(u, Zurich).
+  > query ben: { R(Amy, v) } R(Ben, v) :- Flights(v, Zurich).
+  > \pending
+  > \quit
+  > REPL
+  table Flights created
+  pending: gwyneth
+  pending (1): gwyneth
+  coordinated: {gwyneth, chris}
+  pending: amy
+  pending: ben
+  pending (2): amy, ben
+  bye: 2 queries coordinated, 2 still pending

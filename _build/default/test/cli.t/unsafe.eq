@@ -1,0 +1,5 @@
+table F(fid, dest).
+fact F(1, Zurich).
+query p:  { R(C, x) } R(P, x)  :- F(x, d).
+query c1: { }         R(C, u)  :- F(u, d1).
+query c2: { }         R(C, v)  :- F(v, d2).

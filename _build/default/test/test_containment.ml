@@ -1,0 +1,216 @@
+(* Conjunctive-query containment and core minimization, plus the
+   minimize-before-grounding optimizer pass. *)
+
+open Relational
+open Entangled
+open Helpers
+
+let q atoms = Cq.make atoms
+
+let test_homomorphism_basic () =
+  (* F(x, y) maps into F(x1, Paris). *)
+  let src = q [ atom "F" [ var "x"; var "y" ] ] in
+  let dst = q [ atom "F" [ var "x1"; cs "Paris" ] ] in
+  (match Containment.homomorphism src dst with
+  | None -> Alcotest.fail "exists"
+  | Some h ->
+    Alcotest.check term_t "x -> x1" (var "x1") (List.assoc "x" h);
+    Alcotest.check term_t "y -> Paris" (cs "Paris") (List.assoc "y" h));
+  (* Constants only map to themselves. *)
+  Alcotest.(check bool) "const mismatch" true
+    (Containment.homomorphism
+       (q [ atom "F" [ cs "Rome"; var "y" ] ])
+       (q [ atom "F" [ var "x"; cs "Paris" ] ])
+    = None)
+
+let test_homomorphism_join_structure () =
+  (* A path of length 2 maps onto a self-loop, not vice versa. *)
+  let path = q [ atom "E" [ var "a"; var "b" ]; atom "E" [ var "b"; var "c" ] ] in
+  let loop = q [ atom "E" [ var "z"; var "z" ] ] in
+  Alcotest.(check bool) "path -> loop" true
+    (Option.is_some (Containment.homomorphism path loop));
+  Alcotest.(check bool) "loop -> path" false
+    (Option.is_some (Containment.homomorphism loop path))
+
+let test_containment_and_equivalence () =
+  let narrow = q [ atom "F" [ var "x"; cs "Paris" ] ] in
+  let broad = q [ atom "F" [ var "x"; var "d" ] ] in
+  (* Asking for Paris is more restrictive: narrow ⊆ broad. *)
+  Alcotest.(check bool) "narrow in broad" true
+    (Containment.contained_in narrow broad);
+  Alcotest.(check bool) "broad not in narrow" false
+    (Containment.contained_in broad narrow);
+  let dup = q [ atom "F" [ var "x"; cs "Paris" ]; atom "F" [ var "y"; cs "Paris" ] ] in
+  Alcotest.(check bool) "duplicate equivalent" true
+    (Containment.equivalent narrow dup)
+
+let test_minimize_figure1 () =
+  (* The Chris+Guy combined body: F(x1,x), H(x2,x), F(x1,Paris),
+     H(x2,Paris) has the 2-atom core F(x1,Paris), H(x2,Paris). *)
+  let body =
+    q
+      [
+        atom "F" [ var "x1"; var "x" ];
+        atom "H" [ var "x2"; var "x" ];
+        atom "F" [ var "x1"; cs "Paris" ];
+        atom "H" [ var "x2"; cs "Paris" ];
+      ]
+  in
+  let core = Containment.minimize body in
+  Alcotest.(check int) "two atoms" 2 (List.length core.Cq.atoms);
+  Alcotest.(check bool) "still equivalent" true (Containment.equivalent body core);
+  (* Protecting x forbids collapsing it into Paris. *)
+  let protected_core = Containment.minimize ~protect:[ "x" ] body in
+  Alcotest.(check bool) "x survives" true
+    (List.mem "x" (Cq.variables protected_core))
+
+let test_minimize_retraction_recovers () =
+  let body =
+    q [ atom "F" [ var "x1"; var "x" ]; atom "F" [ var "x1"; cs "Paris" ] ]
+  in
+  let core, retraction = Containment.minimize_with_retraction body in
+  Alcotest.(check int) "core is one atom" 1 (List.length core.Cq.atoms);
+  (* Every original variable is mapped into the core. *)
+  let core_vars = Cq.variables core in
+  List.iter
+    (fun x ->
+      match List.assoc x retraction with
+      | Term.Var y ->
+        Alcotest.(check bool) ("var " ^ x ^ " lands in core") true
+          (List.mem y core_vars)
+      | Term.Const _ -> ())
+    (Cq.variables body);
+  Alcotest.check term_t "x collapsed to Paris" (cs "Paris")
+    (List.assoc "x" retraction)
+
+let test_minimize_idempotent_and_empty () =
+  let body = q [ atom "F" [ var "x"; var "y" ] ] in
+  Alcotest.(check bool) "already minimal" true
+    (List.length (Containment.minimize body).Cq.atoms = 1);
+  Alcotest.(check int) "empty stays empty" 0
+    (List.length (Containment.minimize (q [])).Cq.atoms)
+
+let test_ground_with_minimization () =
+  let db = flights_db () in
+  let input =
+    [
+      Query.make ~name:"c"
+        ~post:[ atom "R" [ cs "G"; var "x1" ] ]
+        ~head:[ atom "R" [ cs "C"; var "x1" ] ]
+        [ atom "F" [ var "x1"; var "x" ] ];
+      Query.make ~name:"g"
+        ~post:[ atom "R" [ cs "C"; var "y1" ] ]
+        ~head:[ atom "R" [ cs "G"; var "y1" ] ]
+        [ atom "F" [ var "y1"; cs "Paris" ] ];
+    ]
+  in
+  let run minimize =
+    match Coordination.Scc_algo.solve ~minimize db input with
+    | Ok { solution = Some s; queries; _ } ->
+      check_validates db queries s;
+      s
+    | _ -> Alcotest.fail "solves"
+  in
+  let plain = run false and minimized = run true in
+  Alcotest.(check (list int)) "same members" plain.members minimized.members
+
+(* Randomized: minimization preserves the full answer set. *)
+let gen_query =
+  QCheck.Gen.(
+    let gen_term =
+      oneof
+        [
+          map (fun i -> Term.Var (Printf.sprintf "v%d" i)) (int_range 0 3);
+          map Term.int (int_range 0 2);
+        ]
+    in
+    let gen_atom =
+      oneof
+        [
+          map (fun (a, b) -> { Cq.rel = "R"; args = [| a; b |] }) (pair gen_term gen_term);
+          map (fun a -> { Cq.rel = "S"; args = [| a |] }) gen_term;
+        ]
+    in
+    let* atoms = list_size (int_range 1 5) gen_atom in
+    return (Cq.make atoms))
+
+let query_arb = QCheck.make ~print:(Format.asprintf "%a" Cq.pp) gen_query
+
+let small_db () =
+  let db = Database.create () in
+  ignore (Database.create_table' db "R" [ "a"; "b" ]);
+  ignore (Database.create_table' db "S" [ "a" ]);
+  List.iter
+    (fun (a, b) -> Database.insert db "R" [ vi a; vi b ])
+    [ (0, 0); (0, 1); (1, 2); (2, 2) ];
+  List.iter (fun a -> Database.insert db "S" [ vi a ]) [ 0; 2 ];
+  db
+
+let suite =
+  [
+    Alcotest.test_case "homomorphism basics" `Quick test_homomorphism_basic;
+    Alcotest.test_case "homomorphism join structure" `Quick
+      test_homomorphism_join_structure;
+    Alcotest.test_case "containment and equivalence" `Quick
+      test_containment_and_equivalence;
+    Alcotest.test_case "minimize figure-1 combined body" `Quick
+      test_minimize_figure1;
+    Alcotest.test_case "retraction recovers dropped variables" `Quick
+      test_minimize_retraction_recovers;
+    Alcotest.test_case "minimize idempotent/empty" `Quick
+      test_minimize_idempotent_and_empty;
+    Alcotest.test_case "scc grounding with minimization" `Quick
+      test_ground_with_minimization;
+    qtest ~count:300 "core is equivalent and no larger" query_arb (fun body ->
+        let core = Containment.minimize body in
+        List.length core.Cq.atoms <= List.length body.Cq.atoms
+        && Containment.equivalent body core);
+    qtest ~count:300 "core satisfiability agrees on a concrete instance"
+      query_arb (fun body ->
+        let db = small_db () in
+        let core = Containment.minimize body in
+        Eval.satisfiable db body = Eval.satisfiable db core);
+    qtest ~count:300 "retraction maps witnesses correctly" query_arb
+      (fun body ->
+        let db = small_db () in
+        let core, retraction = Containment.minimize_with_retraction body in
+        match Eval.find_first db core with
+        | None -> not (Eval.satisfiable db body)
+        | Some core_val ->
+          (* Extend through the retraction and check every body atom. *)
+          let full =
+            List.fold_left
+              (fun acc (x, t) ->
+                match t with
+                | Term.Const v -> Eval.Binding.add x v acc
+                | Term.Var y -> (
+                  match Eval.Binding.find_opt y core_val with
+                  | Some v -> Eval.Binding.add x v acc
+                  | None -> acc))
+              Eval.Binding.empty retraction
+          in
+          List.for_all
+            (fun (a : Cq.atom) ->
+              let tuple =
+                Array.map
+                  (function
+                    | Term.Const v -> Some v
+                    | Term.Var x -> Eval.Binding.find_opt x full)
+                  a.args
+              in
+              Array.for_all Option.is_some tuple
+              && Relation.mem
+                   (Database.relation db a.rel)
+                   (Array.map Option.get tuple))
+            body.Cq.atoms);
+    qtest ~count:200 "contained_in is reflexive and transitive-ish"
+      QCheck.(pair query_arb query_arb)
+      (fun (a, b) ->
+        Containment.contained_in a a
+        &&
+        (* containment implies answer-set inclusion on the instance *)
+        let db = small_db () in
+        (not (Containment.contained_in a b))
+        || (not (Eval.satisfiable db a))
+        || Eval.satisfiable db b);
+  ]

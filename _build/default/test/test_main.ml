@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "entangle"
+    [
+      ("relational", Test_relational.suite);
+      ("eval", Test_eval.suite);
+      ("graphs", Test_graphs.suite);
+      ("entangled", Test_entangled.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("single-connected", Test_single_connected.suite);
+      ("extensions", Test_extensions.suite);
+      ("containment", Test_containment.suite);
+      ("proposition-1", Test_prop1.suite);
+      ("sat", Test_sat.suite);
+      ("workload", Test_workload.suite);
+    ]

@@ -1,0 +1,177 @@
+(* SAT substrate and the hardness reductions: DPLL ground truth, and
+   closing the loop of Theorems 1, 2 and Appendix B on random formulas. *)
+
+open Helpers
+
+let test_cnf_eval () =
+  let f = Sat.Cnf.make ~num_vars:3 [ [ 1; -2; 3 ]; [ 2; -3; -1 ] ] in
+  let a = [| false; true; true; false |] in
+  Alcotest.(check bool) "eval" true (Sat.Cnf.eval f a);
+  let a2 = [| false; false; true; true |] in
+  (* clause2: x2 | !x3 | !x1 -> false|false|true = true; clause1:
+     x1|!x2|x3 -> false|true|true = true *)
+  Alcotest.(check bool) "eval2" true (Sat.Cnf.eval f a2);
+  Alcotest.(check bool) "three-cnf" true (Sat.Cnf.is_three_cnf f);
+  Alcotest.(check bool) "not three-cnf" false
+    (Sat.Cnf.is_three_cnf (Sat.Cnf.make ~num_vars:2 [ [ 1; 2 ] ]));
+  Alcotest.check_raises "zero literal" (Invalid_argument "Cnf.lit: zero literal")
+    (fun () -> ignore (Sat.Cnf.lit 0))
+
+let test_dpll_basic () =
+  Alcotest.(check bool) "trivial" true
+    (Sat.Dpll.satisfiable (Sat.Cnf.make ~num_vars:1 []));
+  Alcotest.(check bool) "unit" true
+    (Sat.Dpll.satisfiable (Sat.Cnf.make ~num_vars:1 [ [ 1 ] ]));
+  Alcotest.(check bool) "contradiction" false
+    (Sat.Dpll.satisfiable (Sat.Cnf.make ~num_vars:1 [ [ 1 ]; [ -1 ] ]));
+  let f = Sat.Cnf.make ~num_vars:2 [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ] ] in
+  (match Sat.Dpll.solve f with
+  | Some a -> Alcotest.(check bool) "model" true (Sat.Cnf.eval f a)
+  | None -> Alcotest.fail "satisfiable");
+  Alcotest.(check int) "model count" 1 (Sat.Dpll.count_models f)
+
+let full_unsat_3cnf =
+  Sat.Cnf.make ~num_vars:3
+    [
+      [ 1; 2; 3 ]; [ 1; 2; -3 ]; [ 1; -2; 3 ]; [ 1; -2; -3 ];
+      [ -1; 2; 3 ]; [ -1; 2; -3 ]; [ -1; -2; 3 ]; [ -1; -2; -3 ];
+    ]
+
+let test_dpll_unsat_3cnf () =
+  Alcotest.(check bool) "all 8 clauses unsat" false
+    (Sat.Dpll.satisfiable full_unsat_3cnf);
+  Alcotest.(check int) "zero models" 0 (Sat.Dpll.count_models full_unsat_3cnf)
+
+let formula_gen =
+  QCheck.Gen.(
+    let* num_vars = int_range 3 5 in
+    let* num_clauses = int_range 1 8 in
+    let* seed = int_range 0 1_000_000 in
+    let rng = Prng.create seed in
+    return (Sat.Gen.random_3sat rng ~num_vars ~num_clauses))
+
+let formula_arb = QCheck.make ~print:(Format.asprintf "%a" Sat.Cnf.pp) formula_gen
+
+(* Small formulas so the Theorem-1 instance stays under the brute-force
+   query limit: 1 + m + (#polarities present) <= 1 + 4 + 8 = 13. *)
+let small_formula_gen =
+  QCheck.Gen.(
+    let* num_vars = int_range 3 4 in
+    let* num_clauses = int_range 1 4 in
+    let* seed = int_range 0 1_000_000 in
+    let rng = Prng.create seed in
+    return (Sat.Gen.random_3sat rng ~num_vars ~num_clauses))
+
+let small_formula_arb =
+  QCheck.make ~print:(Format.asprintf "%a" Sat.Cnf.pp) small_formula_gen
+
+let test_gen_planted () =
+  let rng = Prng.create 42 in
+  for _ = 1 to 20 do
+    let f, planted = Sat.Gen.planted_3sat rng ~num_vars:8 ~num_clauses:30 in
+    Alcotest.(check bool) "planted satisfies" true (Sat.Cnf.eval f planted);
+    Alcotest.(check bool) "dpll agrees" true (Sat.Dpll.satisfiable f)
+  done
+
+let test_theorem1_figure_formula () =
+  (* Figure 9's formula through the Theorem 1 reduction. *)
+  let f = Sat.Cnf.make ~num_vars:4 [ [ 1; -2; 3 ]; [ 2; -3; -4 ] ] in
+  let inst = Sat.Reduce.to_entangled f in
+  (match Coordination.Brute.maximum inst.db inst.queries with
+  | None -> Alcotest.fail "satisfiable formula must coordinate"
+  | Some s ->
+    let a = Sat.Reduce.decode_entangled f inst s.members in
+    Alcotest.(check bool) "decoded assignment satisfies" true (Sat.Cnf.eval f a));
+  (* The unsatisfiable 8-clause formula must not coordinate. *)
+  let bad = Sat.Reduce.to_entangled full_unsat_3cnf in
+  Alcotest.(check bool) "unsat: no coordinating set" false
+    (Coordination.Brute.exists_coordinating_set bad.db bad.queries)
+
+let test_theorem2_figure_formula () =
+  let f = Sat.Cnf.make ~num_vars:4 [ [ 1; -2; 3 ]; [ 2; -3; -4 ] ] in
+  let inst = Sat.Reduce.to_entangled_max f in
+  Alcotest.(check int) "target" 6 inst.target;
+  (* The gadget set is safe. *)
+  let graph = Entangled.Coordination_graph.build inst.mqueries in
+  Alcotest.(check bool) "safe" true (Entangled.Safety.is_safe graph);
+  (match Coordination.Brute.maximum inst.mdb inst.mqueries with
+  | None -> Alcotest.fail "val queries alone coordinate"
+  | Some s ->
+    Alcotest.(check int) "max = k+m" inst.target (Entangled.Solution.size s);
+    let a = Sat.Reduce.decode_entangled_max f inst s.members in
+    Alcotest.(check bool) "decoded satisfies" true (Sat.Cnf.eval f a));
+  Alcotest.(check int) "analytical max agrees" inst.target
+    (Sat.Reduce.max_coordinating_size f);
+  (* Unsatisfiable: analytical maximum falls short of the target. *)
+  let bad = Sat.Reduce.to_entangled_max full_unsat_3cnf in
+  Alcotest.(check bool) "unsat: max < k+m" true
+    (Sat.Reduce.max_coordinating_size full_unsat_3cnf < bad.target)
+
+let test_appendix_b () =
+  (* Mixed-attribute consistent queries re-encode 3SAT (Appendix B). *)
+  let f = Sat.Cnf.make ~num_vars:3 [ [ 1; -2; 3 ] ] in
+  let inst = Sat.Reduce.to_mixed_consistent f in
+  (* The set is unsafe — that is the point. *)
+  let graph = Entangled.Coordination_graph.build inst.queries in
+  Alcotest.(check bool) "unsafe" false (Entangled.Safety.is_safe graph);
+  (match Coordination.Brute.maximum inst.db inst.queries with
+  | None -> Alcotest.fail "satisfiable formula must coordinate"
+  | Some s ->
+    let a = Sat.Reduce.decode_mixed f inst s.members in
+    Alcotest.(check bool) "decoded satisfies" true (Sat.Cnf.eval f a))
+
+let suite =
+  [
+    Alcotest.test_case "cnf eval" `Quick test_cnf_eval;
+    Alcotest.test_case "dpll basics" `Quick test_dpll_basic;
+    Alcotest.test_case "dpll full unsat 3-cnf" `Quick test_dpll_unsat_3cnf;
+    Alcotest.test_case "planted instances satisfiable" `Quick test_gen_planted;
+    Alcotest.test_case "theorem 1 on figure formula" `Quick
+      test_theorem1_figure_formula;
+    Alcotest.test_case "theorem 2 on figure formula" `Quick
+      test_theorem2_figure_formula;
+    Alcotest.test_case "appendix B reduction" `Quick test_appendix_b;
+    qtest ~count:150 "dpll agrees with exhaustive model counting" formula_arb
+      (fun f -> Sat.Dpll.satisfiable f = (Sat.Dpll.count_models f > 0));
+    qtest ~count:150 "dpll models actually satisfy" formula_arb (fun f ->
+        match Sat.Dpll.solve f with
+        | None -> true
+        | Some a -> Sat.Cnf.eval f a);
+    qtest ~count:25 "theorem 1: satisfiable iff coordinating set exists"
+      small_formula_arb (fun f ->
+        let inst = Sat.Reduce.to_entangled f in
+        Array.length inst.queries > Coordination.Brute.max_queries
+        || Coordination.Brute.exists_coordinating_set inst.db inst.queries
+           = Sat.Dpll.satisfiable f);
+    qtest ~count:15 "theorem 2: max size = k+m iff satisfiable"
+      QCheck.(
+        make
+          ~print:(Format.asprintf "%a" Sat.Cnf.pp)
+          Gen.(
+            let* seed = int_range 0 1_000_000 in
+            let rng = Prng.create seed in
+            let* num_clauses = int_range 1 3 in
+            return (Sat.Gen.random_3sat rng ~num_vars:4 ~num_clauses)))
+      (fun f ->
+        let inst = Sat.Reduce.to_entangled_max f in
+        let brute_max =
+          match Coordination.Brute.maximum inst.mdb inst.mqueries with
+          | None -> 0
+          | Some s -> Entangled.Solution.size s
+        in
+        brute_max = Sat.Reduce.max_coordinating_size f
+        && (brute_max = inst.target) = Sat.Dpll.satisfiable f);
+    qtest ~count:10 "appendix B: satisfiable iff coordinating set exists"
+      QCheck.(
+        make
+          ~print:(Format.asprintf "%a" Sat.Cnf.pp)
+          Gen.(
+            let* seed = int_range 0 1_000_000 in
+            let rng = Prng.create seed in
+            return (Sat.Gen.random_3sat rng ~num_vars:3 ~num_clauses:2)))
+      (fun f ->
+        let inst = Sat.Reduce.to_mixed_consistent f in
+        Array.length inst.queries > Coordination.Brute.max_queries
+        || Coordination.Brute.exists_coordinating_set inst.db inst.queries
+           = Sat.Dpll.satisfiable f);
+  ]

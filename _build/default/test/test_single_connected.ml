@@ -1,0 +1,161 @@
+(* Single-connected query sets (Definition 6, Theorem 3). *)
+
+open Entangled
+open Helpers
+
+let mk = Query.make
+
+(* An unsafe but single-connected set: the root can coordinate with
+   either of two providers, only one of which has a satisfiable body. *)
+let choice_queries () =
+  [
+    mk ~name:"root"
+      ~post:[ atom "R" [ cs "kid"; var "x" ] ]
+      ~head:[ atom "R" [ cs "root"; var "x" ] ]
+      [ atom "F" [ var "x"; var "d" ] ];
+    mk ~name:"kid_zurich" ~post:[]
+      ~head:[ atom "R" [ cs "kid"; var "y" ] ]
+      [ atom "F" [ var "y"; cs "Zurich" ] ];
+    mk ~name:"kid_rome" ~post:[]
+      ~head:[ atom "R" [ cs "kid"; var "z" ] ]
+      [ atom "F" [ var "z"; cs "Rome" ] ];
+  ]
+
+let test_check_accepts () =
+  let queries = Query.rename_set (choice_queries ()) in
+  let g = Coordination_graph.build queries in
+  Alcotest.(check bool) "unsafe" false (Safety.is_safe g);
+  Alcotest.(check bool) "single-connected" true
+    (Coordination.Single_connected.check g = Ok ())
+
+let test_check_rejects_two_posts () =
+  let queries =
+    Query.rename_set
+      [
+        mk ~name:"two"
+          ~post:[ atom "R" [ cs "a"; var "x" ]; atom "R" [ cs "b"; var "y" ] ]
+          ~head:[ atom "R" [ cs "t"; var "x" ] ]
+          [];
+      ]
+  in
+  let g = Coordination_graph.build queries in
+  match Coordination.Single_connected.check g with
+  | Error (Coordination.Single_connected.Too_many_posts 0) -> ()
+  | _ -> Alcotest.fail "two posts rejected"
+
+let test_check_rejects_diamond () =
+  (* root -> m1 -> sink and root -> m2 -> sink: two simple paths from
+     root to sink (m1 and m2 both offer the head "mid" the root wants,
+     and both need the sink). *)
+  let provider name body_dest =
+    mk ~name
+      ~post:[ atom "R" [ cs "sink"; var "w" ] ]
+      ~head:[ atom "R" [ cs name; var "v" ] ]
+      [ atom "F" [ var "v"; cs body_dest ] ]
+  in
+  let queries =
+    Query.rename_set
+      [
+        mk ~name:"root"
+          ~post:[ atom "R" [ cs "mid"; var "x" ] ]
+          ~head:[ atom "R" [ cs "root"; var "x" ] ]
+          [];
+        (let q = provider "m1" "Zurich" in
+         { q with Query.head = [ atom "R" [ cs "mid"; var "v" ] ] });
+        (let q = provider "m2" "Paris" in
+         { q with Query.head = [ atom "R" [ cs "mid"; var "v" ] ] });
+        mk ~name:"sink" ~post:[] ~head:[ atom "R" [ cs "sink"; var "s" ] ]
+          [ atom "F" [ var "s"; var "ds" ] ];
+      ]
+  in
+  let g = Coordination_graph.build queries in
+  (* root -> m1 -> sink and root -> m2 -> sink: two simple paths
+     root ~> sink. *)
+  match Coordination.Single_connected.check g with
+  | Error (Coordination.Single_connected.Not_single_connected _) -> ()
+  | Ok () -> Alcotest.fail "diamond must be rejected"
+  | Error e ->
+    Alcotest.failf "wrong error: %a"
+      (Coordination.Single_connected.pp_error queries)
+      e
+
+let test_check_rejects_cycle () =
+  let queries =
+    Query.rename_set
+      [
+        mk ~name:"a"
+          ~post:[ atom "R" [ cs "b"; var "x" ] ]
+          ~head:[ atom "R" [ cs "a"; var "x" ] ]
+          [];
+        mk ~name:"b"
+          ~post:[ atom "R" [ cs "a"; var "y" ] ]
+          ~head:[ atom "R" [ cs "b"; var "y" ] ]
+          [];
+      ]
+  in
+  let g = Coordination_graph.build queries in
+  match Coordination.Single_connected.check g with
+  | Error (Coordination.Single_connected.Not_single_connected _) -> ()
+  | _ -> Alcotest.fail "cycle rejected"
+
+let test_solve_chooses_satisfiable_branch () =
+  let db = flights_db () in
+  match Coordination.Single_connected.solve db (choice_queries ()) with
+  | Error _ -> Alcotest.fail "single-connected"
+  | Ok outcome -> (
+    match outcome.solution with
+    | None -> Alcotest.fail "root+kid_zurich coordinates"
+    | Some s ->
+      Alcotest.(check (list string)) "root with the zurich provider"
+        [ "root"; "kid_zurich" ]
+        (Solution.member_names outcome.queries s);
+      check_validates db outcome.queries s)
+
+let test_solve_matches_brute () =
+  let db = flights_db () in
+  let queries = Query.rename_set (choice_queries ()) in
+  match Coordination.Single_connected.solve db (choice_queries ()) with
+  | Error _ -> Alcotest.fail "single-connected"
+  | Ok outcome ->
+    Alcotest.(check bool) "agrees with brute force on existence" true
+      (Option.is_some outcome.solution
+      = Coordination.Brute.exists_coordinating_set db queries)
+
+let test_solve_probe_budget () =
+  (* Probes stay linear in queries + edges. *)
+  let db = flights_db () in
+  let n = 12 in
+  let input =
+    List.init n (fun i ->
+        let post =
+          if i < n - 1 then [ atom "R" [ cs (Printf.sprintf "u%d" (i + 1)); var "y" ] ]
+          else []
+        in
+        mk
+          ~name:(Printf.sprintf "u%d" i)
+          ~post
+          ~head:[ atom "R" [ cs (Printf.sprintf "u%d" i); var "x" ] ]
+          [ atom "F" [ var "x"; cs "Zurich" ] ])
+  in
+  match Coordination.Single_connected.solve db input with
+  | Error _ -> Alcotest.fail "a chain is single-connected"
+  | Ok outcome -> (
+    Alcotest.(check bool) "linear probes" true
+      (outcome.stats.db_probes <= (2 * n) + 2);
+    match outcome.solution with
+    | Some s ->
+      Alcotest.(check int) "whole chain" n (Solution.size s);
+      check_validates db outcome.queries s
+    | None -> Alcotest.fail "chain coordinates")
+
+let suite =
+  [
+    Alcotest.test_case "check accepts unsafe tree" `Quick test_check_accepts;
+    Alcotest.test_case "check rejects two posts" `Quick test_check_rejects_two_posts;
+    Alcotest.test_case "check rejects diamond" `Quick test_check_rejects_diamond;
+    Alcotest.test_case "check rejects cycle" `Quick test_check_rejects_cycle;
+    Alcotest.test_case "solve picks satisfiable branch" `Quick
+      test_solve_chooses_satisfiable_branch;
+    Alcotest.test_case "solve agrees with brute force" `Quick test_solve_matches_brute;
+    Alcotest.test_case "solve probe budget" `Quick test_solve_probe_budget;
+  ]
