@@ -20,24 +20,20 @@ let csv_dir : string option ref = ref None
    probe-dominated, which is the regime the paper measured. *)
 let probe_latency_s : float ref = ref 0.0
 
-let csv_rows : (string, string list list) Hashtbl.t = Hashtbl.create 8
-
-let csv_start name columns = Hashtbl.replace csv_rows name [ columns ]
-
-let csv_row name row =
-  match Hashtbl.find_opt csv_rows name with
-  | Some rows -> Hashtbl.replace csv_rows name (row :: rows)
-  | None -> ()
+(* The series themselves live in {!Series} so `--json` can drain them
+   too. *)
+let csv_start = Series.start
+let csv_row = Series.row
 
 let csv_finish name =
-  match (!csv_dir, Hashtbl.find_opt csv_rows name) with
-  | Some dir, Some rows ->
+  match !csv_dir with
+  | Some dir ->
     let path = Filename.concat dir (name ^ ".csv") in
     let oc = open_out path in
-    output_string oc (Relational.Csv_io.write_string (List.rev rows));
+    output_string oc (Relational.Csv_io.write_string (Series.rows name));
     close_out oc;
     Printf.printf "(wrote %s)\n" path
-  | _ -> ()
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: SCC algorithm on the list structure                      *)

@@ -11,7 +11,8 @@
 
 let usage =
   "main.exe [--fast] [--figure N]... [--ablation \
-   evaluator|preprocess|selection]... [--bechamel] [--figures-only]"
+   evaluator|preprocess|selection]... [--bechamel] [--figures-only] \
+   [--json FILE]"
 
 let () =
   let figures = ref [] in
@@ -19,6 +20,7 @@ let () =
   let bechamel_only = ref false in
   let figures_only = ref false in
   let fast = ref false in
+  let json_path = ref None in
   let spec =
     [
       ("--figure", Arg.Int (fun n -> figures := n :: !figures),
@@ -30,6 +32,8 @@ let () =
       ("--fast", Arg.Set fast, " reduced sizes (CI-friendly)");
       ("--csv", Arg.String (fun d -> Figures.csv_dir := Some d),
        "DIR  also write each figure's series to DIR/fig<N>.csv");
+      ("--json", Arg.String (fun f -> json_path := Some f),
+       "FILE  write every figure/ablation series run as one JSON file");
       ("--probe-latency-ms",
        Arg.Float (fun x -> Figures.probe_latency_s := x /. 1000.0),
        "MS  emulate a per-probe client-server round trip of MS \
@@ -54,13 +58,33 @@ let () =
     (fun name ->
       ran_something := true;
       match name with
-      | "evaluator" -> Ablations.evaluator ()
-      | "preprocess" -> Ablations.preprocess ()
-      | "selection" -> Ablations.selection ()
-      | "minimize" -> Ablations.minimize ()
-      | "realistic" -> Ablations.realistic ()
-      | "parallel" -> Ablations.parallel ()
-      | "online" -> Ablations.online ()
+      | "evaluator" ->
+        if fast then begin
+          Ablations.evaluator ~rows:1_000 ();
+          Ablations.evaluator_batch ~rows:5_000 ~probes:300 ()
+        end
+        else begin
+          Ablations.evaluator ();
+          Ablations.evaluator_batch ()
+        end
+      | "preprocess" ->
+        if fast then Ablations.preprocess ~rows:5_000 ~n:15 ()
+        else Ablations.preprocess ()
+      | "selection" ->
+        if fast then Ablations.selection ~rows:5_000 ~n:20 ()
+        else Ablations.selection ()
+      | "minimize" ->
+        if fast then Ablations.minimize ~rows:5_000 ~n:12 ()
+        else Ablations.minimize ()
+      | "realistic" ->
+        if fast then Ablations.realistic ~rows:100 ~users:20 ()
+        else Ablations.realistic ()
+      | "parallel" ->
+        if fast then Ablations.parallel ~rows:150 ~users:40 ()
+        else Ablations.parallel ()
+      | "online" ->
+        if fast then Ablations.online ~rows:5_000 ~n:20 ()
+        else Ablations.online ()
       | s -> Printf.eprintf "unknown ablation %s\n" s)
     (List.rev !ablations);
   if !bechamel_only then begin
@@ -73,4 +97,5 @@ let () =
       Ablations.run_all ~fast ();
       Micro.run_all ()
     end
-  end
+  end;
+  Option.iter Series.write_json !json_path

@@ -63,6 +63,24 @@ let solve_subset db (graph : Coordination_graph.t) ~members =
     assign Subst.empty obligations;
     !result
 
+(* Brute search has no phases worth timing separately; when a stats
+   record is supplied we account the whole call as ground time plus the
+   engine-counter delta. *)
+let with_stats stats db f =
+  match stats with
+  | None -> f ()
+  | Some stats ->
+    let t0 = Stats.now_ns () in
+    let counters0 = Database.snapshot_counters db in
+    let finally () =
+      let span = Int64.sub (Stats.now_ns ()) t0 in
+      stats.Stats.ground_ns <- Int64.add stats.Stats.ground_ns span;
+      stats.Stats.total_ns <- Int64.add stats.Stats.total_ns span;
+      Stats.add_counters stats
+        (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db))
+    in
+    Fun.protect ~finally f
+
 let subsets_by_size n =
   let masks = List.init ((1 lsl n) - 1) (fun i -> i + 1) in
   let popcount m =
@@ -74,18 +92,20 @@ let subsets_by_size n =
 let members_of_mask n mask =
   List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id)
 
-let exists_coordinating_set db queries =
+let exists_coordinating_set ?stats db queries =
   let n = Array.length queries in
   check_size n;
+  with_stats stats db @@ fun () ->
   let graph = Coordination_graph.build queries in
   List.exists
     (fun mask ->
       Option.is_some (solve_subset db graph ~members:(members_of_mask n mask)))
     (subsets_by_size n)
 
-let maximum db queries =
+let maximum ?stats db queries =
   let n = Array.length queries in
   check_size n;
+  with_stats stats db @@ fun () ->
   let graph = Coordination_graph.build queries in
   let rec loop = function
     | [] -> None
@@ -97,9 +117,10 @@ let maximum db queries =
   in
   loop (List.rev (subsets_by_size n))
 
-let all_coordinating_subsets db queries =
+let all_coordinating_subsets ?stats db queries =
   let n = Array.length queries in
   check_size n;
+  with_stats stats db @@ fun () ->
   let graph = Coordination_graph.build queries in
   List.filter_map
     (fun mask ->

@@ -19,15 +19,18 @@ val solve_subset :
     to postconditions; on the first unifiable choice whose combined body
     is satisfiable, returns the full Definition-1 assignment. *)
 
-val exists_coordinating_set : Database.t -> Query.t array -> bool
+val exists_coordinating_set : ?stats:Stats.t -> Database.t -> Query.t array -> bool
 (** Is there any non-empty coordinating subset?  The queries must be
-    renamed apart ({!Query.rename_set}). *)
+    renamed apart ({!Query.rename_set}).  When [stats] is given, the
+    call's duration and engine-counter deltas (probes, plan cache,
+    tuples scanned) are folded into it. *)
 
-val maximum : Database.t -> Query.t array -> Solution.t option
+val maximum : ?stats:Stats.t -> Database.t -> Query.t array -> Solution.t option
 (** A maximum-size coordinating set, or [None] when no subset
     coordinates.  This is the (NP-hard) EntangledMax problem of
     Definition 5, solved exactly. *)
 
-val all_coordinating_subsets : Database.t -> Query.t array -> int list list
+val all_coordinating_subsets :
+  ?stats:Stats.t -> Database.t -> Query.t array -> int list list
 (** Every coordinating subset (as sorted index lists), smallest first —
     exhaustive, for property tests on tiny instances. *)

@@ -304,10 +304,11 @@ let finalize db p ~candidates ~best stats =
 let solve ?(selection = `Largest) db config input =
   let stats = Stats.create () in
   let t_start = Stats.now_ns () in
-  let probes0 = Database.probes db in
+  let counters0 = Database.snapshot_counters db in
   let finish outcome =
     outcome.stats.Stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
-    outcome.stats.Stats.db_probes <- Database.probes db - probes0;
+    Stats.add_counters outcome.stats
+      (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
     Ok outcome
   in
   let t_graph = Stats.now_ns () in

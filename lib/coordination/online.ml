@@ -47,7 +47,10 @@ let accumulate (into : Stats.t) (from : Stats.t) =
   into.ground_ns <- Int64.add into.ground_ns from.ground_ns;
   into.total_ns <- Int64.add into.total_ns from.total_ns;
   into.candidates <- into.candidates + from.candidates;
-  into.cleaning_rounds <- into.cleaning_rounds + from.cleaning_rounds
+  into.cleaning_rounds <- into.cleaning_rounds + from.cleaning_rounds;
+  into.plan_hits <- into.plan_hits + from.plan_hits;
+  into.plan_misses <- into.plan_misses + from.plan_misses;
+  into.tuples_scanned <- into.tuples_scanned + from.tuples_scanned
 
 (* Weakly connected components of the pool's coordination graph, as
    lists of pool positions (ascending). *)

@@ -23,7 +23,7 @@ let chunk k xs =
 let solve ?domains db config input =
   let stats = Stats.create () in
   let t_start = Stats.now_ns () in
-  let probes0 = Database.probes db in
+  let counters0 = Database.snapshot_counters db in
   let t_graph = Stats.now_ns () in
   match Consistent.prepare db config input with
   | Error e -> Error e
@@ -77,5 +77,6 @@ let solve ?domains db config input =
     in
     let outcome = Consistent.finalize db p ~candidates ~best stats in
     outcome.stats.Stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
-    outcome.stats.Stats.db_probes <- Database.probes db - probes0;
+    Stats.add_counters outcome.stats
+      (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
     Ok outcome

@@ -72,12 +72,13 @@ let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
   let emit e = match observer with Some f -> f e | None -> () in
   let stats = Stats.create () in
   let t_start = Stats.now_ns () in
-  let probes0 = Database.probes db in
+  let counters0 = Database.snapshot_counters db in
   let queries = Query.rename_set input in
   let n = Array.length queries in
   let finish result =
     stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
-    stats.db_probes <- Database.probes db - probes0;
+    Stats.add_counters stats
+      (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
     result
   in
   (* Phase 1: graph construction, preprocessing, SCCs (Figure 6 measures

@@ -63,11 +63,12 @@ type outcome = {
 let solve db input =
   let stats = Stats.create () in
   let t_start = Stats.now_ns () in
-  let probes0 = Database.probes db in
+  let counters0 = Database.snapshot_counters db in
   let queries = Query.rename_set input in
   let finish result =
     stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
-    stats.db_probes <- Database.probes db - probes0;
+    Stats.add_counters stats
+      (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
     result
   in
   let graph, graph_ns = Stats.timed (fun () -> Coordination_graph.build queries) in

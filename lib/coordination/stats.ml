@@ -6,6 +6,9 @@ type t = {
   mutable total_ns : int64;
   mutable candidates : int;
   mutable cleaning_rounds : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable tuples_scanned : int;
 }
 
 let create () =
@@ -17,7 +20,16 @@ let create () =
     total_ns = 0L;
     candidates = 0;
     cleaning_rounds = 0;
+    plan_hits = 0;
+    plan_misses = 0;
+    tuples_scanned = 0;
   }
+
+let add_counters stats (d : Relational.Counters.t) =
+  stats.db_probes <- stats.db_probes + d.probes;
+  stats.plan_hits <- stats.plan_hits + d.plan_hits;
+  stats.plan_misses <- stats.plan_misses + d.plan_misses;
+  stats.tuples_scanned <- stats.tuples_scanned + d.tuples_scanned
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
@@ -34,9 +46,11 @@ let ms ns = Int64.to_float ns /. 1e6
 let pp ppf s =
   Format.fprintf ppf
     "probes=%d graph=%.3fms unify=%.3fms ground=%.3fms total=%.3fms \
-     candidates=%d cleaning_rounds=%d"
+     candidates=%d cleaning_rounds=%d plan_hits=%d plan_misses=%d \
+     tuples_scanned=%d"
     s.db_probes (ms s.graph_ns) (ms s.unify_ns) (ms s.ground_ns)
-    (ms s.total_ns) s.candidates s.cleaning_rounds
+    (ms s.total_ns) s.candidates s.cleaning_rounds s.plan_hits s.plan_misses
+    s.tuples_scanned
 
 let to_row s =
   [
@@ -47,4 +61,7 @@ let to_row s =
     ("total_ms", Printf.sprintf "%.3f" (ms s.total_ns));
     ("candidates", string_of_int s.candidates);
     ("cleaning_rounds", string_of_int s.cleaning_rounds);
+    ("plan_hits", string_of_int s.plan_hits);
+    ("plan_misses", string_of_int s.plan_misses);
+    ("tuples_scanned", string_of_int s.tuples_scanned);
   ]

@@ -13,9 +13,17 @@ type t = {
   mutable total_ns : int64;      (** whole solver call *)
   mutable candidates : int;      (** candidate sets considered *)
   mutable cleaning_rounds : int; (** consistent algorithm cleaning passes *)
+  mutable plan_hits : int;       (** compiled plans served from the cache *)
+  mutable plan_misses : int;     (** compiled plans built from scratch *)
+  mutable tuples_scanned : int;  (** tuples examined by the evaluator *)
 }
 
 val create : unit -> t
+
+val add_counters : t -> Relational.Counters.t -> unit
+(** [add_counters stats delta] folds a query-engine counter delta
+    (typically [Counters.diff] of two {!Relational.Database.snapshot_counters})
+    into the solver's record: probes, plan hits/misses, tuples scanned. *)
 
 val now_ns : unit -> int64
 (** Monotonic-ish wall-clock timestamp in nanoseconds. *)

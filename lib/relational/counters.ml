@@ -1,0 +1,35 @@
+type t = {
+  mutable probes : int;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable tuples_scanned : int;
+}
+
+let create () =
+  { probes = 0; plan_hits = 0; plan_misses = 0; tuples_scanned = 0 }
+
+let reset c =
+  c.probes <- 0;
+  c.plan_hits <- 0;
+  c.plan_misses <- 0;
+  c.tuples_scanned <- 0
+
+let copy c =
+  {
+    probes = c.probes;
+    plan_hits = c.plan_hits;
+    plan_misses = c.plan_misses;
+    tuples_scanned = c.tuples_scanned;
+  }
+
+let diff ~before ~after =
+  {
+    probes = after.probes - before.probes;
+    plan_hits = after.plan_hits - before.plan_hits;
+    plan_misses = after.plan_misses - before.plan_misses;
+    tuples_scanned = after.tuples_scanned - before.tuples_scanned;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf "probes=%d plan_hits=%d plan_misses=%d tuples_scanned=%d"
+    c.probes c.plan_hits c.plan_misses c.tuples_scanned

@@ -1,0 +1,28 @@
+(** Unified query-engine counters.
+
+    One mutable record gathers everything the engine counts per database
+    instance: conjunctive-query probes (the paper's "number of SQL
+    queries" metric), plan-cache hits and misses, and tuples examined by
+    index scans and full scans.  A single {!reset} clears all of them
+    together, so probe accounting and the newer counters can never drift
+    apart. *)
+
+type t = {
+  mutable probes : int;          (** conjunctive queries issued *)
+  mutable plan_hits : int;       (** compiled plans served from the cache *)
+  mutable plan_misses : int;     (** compilations (cache miss or uncached) *)
+  mutable tuples_scanned : int;  (** tuples examined by scans and lookups *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Zero every counter. *)
+
+val copy : t -> t
+(** An independent snapshot. *)
+
+val diff : before:t -> after:t -> t
+(** Per-field [after - before]; both arguments are left untouched. *)
+
+val pp : Format.formatter -> t -> unit

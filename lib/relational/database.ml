@@ -1,10 +1,22 @@
 type t = {
   tables : (string, Relation.t) Hashtbl.t;
-  mutable probes : int;
+  counters : Counters.t;
+  plan_cache : (string, Plan.t) Hashtbl.t;
   mutable probe_latency : float;  (* seconds added per probe *)
 }
 
-let create () = { tables = Hashtbl.create 16; probes = 0; probe_latency = 0.0 }
+let create () =
+  {
+    tables = Hashtbl.create 16;
+    counters = Counters.create ();
+    plan_cache = Hashtbl.create 64;
+    probe_latency = 0.0;
+  }
+
+(* Plans bake in join orders chosen against the schema (and, for
+   tie-breaks, cardinalities) seen at compile time; schema changes make
+   them meaningless, so the cache empties wholesale. *)
+let invalidate_plans db = Hashtbl.reset db.plan_cache
 
 let create_table db schema =
   let name = Schema.name schema in
@@ -12,11 +24,16 @@ let create_table db schema =
     invalid_arg (Printf.sprintf "Database.create_table: %s already exists" name);
   let r = Relation.create schema in
   Hashtbl.add db.tables name r;
+  invalidate_plans db;
   r
 
 let create_table' db name attrs = create_table db (Schema.make name attrs)
 
-let drop_table db name = Hashtbl.remove db.tables name
+let drop_table db name =
+  if Hashtbl.mem db.tables name then begin
+    Hashtbl.remove db.tables name;
+    invalidate_plans db
+  end
 
 let relation db name =
   match Hashtbl.find_opt db.tables name with
@@ -41,8 +58,44 @@ let active_domain db =
 let total_tuples db =
   List.fold_left (fun acc r -> acc + Relation.cardinal r) 0 (relations db)
 
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prepare ?(cache = true) db q =
+  let key, shape, binding = Plan.canonicalize q in
+  let plan =
+    if cache then
+      match Hashtbl.find_opt db.plan_cache key with
+      | Some plan ->
+        db.counters.plan_hits <- db.counters.plan_hits + 1;
+        plan
+      | None ->
+        db.counters.plan_misses <- db.counters.plan_misses + 1;
+        let plan = Plan.compile (relation_opt db) ~key shape in
+        Hashtbl.add db.plan_cache key plan;
+        plan
+    else begin
+      db.counters.plan_misses <- db.counters.plan_misses + 1;
+      Plan.compile (relation_opt db) ~key shape
+    end
+  in
+  (plan, binding)
+
+let plan_cache_size db = Hashtbl.length db.plan_cache
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let counters db = db.counters
+
+let snapshot_counters db = Counters.copy db.counters
+
+let reset_counters db = Counters.reset db.counters
+
 let count_probe db =
-  db.probes <- db.probes + 1;
+  db.counters.probes <- db.counters.probes + 1;
   if db.probe_latency > 0.0 then begin
     (* Busy-wait: Unix.sleepf would need the unix library here, and the
        emulated round trips are sub-millisecond. *)
@@ -58,12 +111,12 @@ let set_probe_latency db seconds =
 
 let probe_latency db = db.probe_latency
 
-let probes db = db.probes
+let probes db = db.counters.probes
 
-let reset_probes db = db.probes <- 0
+let reset_probes db = reset_counters db
 
 let pp ppf db =
-  Format.fprintf ppf "@[<v>database (%d probes issued)" db.probes;
+  Format.fprintf ppf "@[<v>database (%d probes issued)" db.counters.probes;
   List.iter
     (fun r ->
       Format.fprintf ppf "@,  %a: %d tuples" Schema.pp (Relation.schema r)

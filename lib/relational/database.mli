@@ -1,22 +1,27 @@
-(** Database instances: named relations plus probe accounting.
+(** Database instances: named relations, a compiled-plan cache, and
+    query-engine counters.
 
-    The probe counter mirrors the metric the paper's experiments are driven
-    by — the number of SQL queries sent to MySQL.  Every call that the
-    conjunctive-query evaluator treats as "one database query" bumps it via
-    {!count_probe}. *)
+    The probe counter mirrors the metric the paper's experiments are
+    driven by — the number of SQL queries sent to MySQL.  Every call
+    that the conjunctive-query evaluator treats as "one database query"
+    bumps it via {!count_probe}.  Alongside it live the plan-cache
+    hit/miss counters and the tuples-scanned counter, all in one
+    {!Counters.t} record with a single reset ({!reset_counters}). *)
 
 type t
 
 val create : unit -> t
 
 val create_table : t -> Schema.t -> Relation.t
-(** @raise Invalid_argument if a relation with the same name exists. *)
+(** @raise Invalid_argument if a relation with the same name exists.
+    Invalidates the plan cache. *)
 
 val create_table' : t -> string -> string list -> Relation.t
 (** [create_table' db name attrs] is [create_table db (Schema.make name attrs)]. *)
 
 val drop_table : t -> string -> unit
-(** Removes a relation; silently does nothing when absent. *)
+(** Removes a relation; silently does nothing when absent.  Invalidates
+    the plan cache when a relation is actually removed. *)
 
 val relation : t -> string -> Relation.t
 (** @raise Not_found when no relation has that name. *)
@@ -38,7 +43,34 @@ val active_domain : t -> Value.Set.t
 
 val total_tuples : t -> int
 
-(** {2 Probe accounting} *)
+(** {2 Plan cache}
+
+    Compiled plans ({!Plan.t}) are cached per database instance, keyed
+    by query shape — relation symbols and term pattern with constants
+    abstracted — so isomorphic probes compile once.  The cache is
+    cleared whenever a table is created or dropped. *)
+
+val prepare : ?cache:bool -> t -> Cq.t -> Plan.t * Plan.binding
+(** [prepare db q] canonicalizes [q] and returns its compiled plan plus
+    the instance binding (constants and variable names).  With [~cache]
+    (default [true]) the plan is served from / stored into the shape
+    cache, counting a hit or miss; with [~cache:false] it is compiled
+    afresh, counting a miss.
+    @raise Plan.Unknown_relation, Plan.Arity_mismatch on bad queries. *)
+
+val plan_cache_size : t -> int
+(** Number of distinct query shapes currently cached. *)
+
+(** {2 Counters} *)
+
+val counters : t -> Counters.t
+(** The live counters record (mutated in place by the engine). *)
+
+val snapshot_counters : t -> Counters.t
+(** An independent copy, for before/after accounting in solvers. *)
+
+val reset_counters : t -> unit
+(** Zero probes, plan hits/misses, and tuples scanned, together. *)
 
 val count_probe : t -> unit
 (** Record that one conjunctive query was issued against this instance.
@@ -53,9 +85,11 @@ val set_probe_latency : t -> float -> unit
 val probe_latency : t -> float
 
 val probes : t -> int
-(** Number of probes since creation or the last {!reset_probes}. *)
+(** Number of probes since creation or the last reset. *)
 
 val reset_probes : t -> unit
+(** Alias of {!reset_counters}: all engine counters share one reset so
+    probe accounting can never drift from the cache and scan counters. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints every relation's schema and cardinality (not the tuples). *)

@@ -2,8 +2,8 @@ module Binding = Map.Make (String)
 
 type valuation = Value.t Binding.t
 
-exception Unknown_relation of string
-exception Arity_mismatch of string * int * int
+exception Unknown_relation = Plan.Unknown_relation
+exception Arity_mismatch = Plan.Arity_mismatch
 
 let get_relation db (a : Cq.atom) =
   match Database.relation_opt db a.rel with
@@ -13,8 +13,9 @@ let get_relation db (a : Cq.atom) =
     if got <> expected then raise (Arity_mismatch (a.rel, got, expected));
     r
 
-(* Search state: a mutable binding table; undo information lives on the
-   call stack of the backtracking search. *)
+(* Search state of the interpreted evaluator: a mutable binding table;
+   undo information lives on the call stack of the backtracking
+   search. *)
 type state = { bound : (string, Value.t) Hashtbl.t }
 
 let term_value st = function
@@ -47,6 +48,8 @@ let match_tuple st (args : Term.t array) (t : Tuple.t) =
   end
 
 type plan =
+  | Compiled
+  | Compiled_nocache
   | Greedy_indexed
   | Fixed_indexed
   | Fixed_scan
@@ -96,18 +99,22 @@ let pick_atom st db atoms =
 
 exception Stop
 
-let solve ?(plan = Greedy_indexed) db (q : Cq.t) ~on_solution =
-  Database.count_probe db;
+(* The interpreted evaluator: re-plans at each binding step (or follows
+   the syntactic order), keyed by variable-name strings.  Kept as the
+   differential-testing reference for the compiled path and for the
+   evaluator ablation. *)
+let solve_interpreted ~plan db (q : Cq.t) ~on_solution =
   (* Validate all atoms up front so errors surface even for plans that
      would short-circuit. *)
   List.iter (fun a -> ignore (get_relation db a)) q.atoms;
+  let counters = Database.counters db in
   let st = { bound = Hashtbl.create 16 } in
   let snapshot () =
     Hashtbl.fold (fun x v acc -> Binding.add x v acc) st.bound Binding.empty
   in
   let next_atom atoms =
     match plan with
-    | Greedy_indexed -> pick_atom st db atoms
+    | Compiled | Compiled_nocache | Greedy_indexed -> pick_atom st db atoms
     | Fixed_indexed -> (
       match atoms with
       | [] -> None
@@ -125,6 +132,8 @@ let solve ?(plan = Greedy_indexed) db (q : Cq.t) ~on_solution =
       | None -> assert false
       | Some (a, (_, r, access), rest) -> (
         let try_tuple t =
+          counters.Counters.tuples_scanned <-
+            counters.Counters.tuples_scanned + 1;
           match match_tuple st a.Cq.args t with
           | None -> ()
           | Some undo ->
@@ -132,11 +141,45 @@ let solve ?(plan = Greedy_indexed) db (q : Cq.t) ~on_solution =
             List.iter (Hashtbl.remove st.bound) undo
         in
         match access with
-        | Membership t -> if Relation.mem r t then go rest
+        | Membership t ->
+          counters.Counters.tuples_scanned <-
+            counters.Counters.tuples_scanned + 1;
+          if Relation.mem r t then go rest
         | Index_scan (c, v) -> Relation.iter_matching r ~col:c v try_tuple
         | Full_scan -> Relation.iter try_tuple r))
   in
   try go q.atoms with Stop -> ()
+
+(* The compiled evaluator: canonicalize, fetch or build the plan
+   (per-database cache keyed by query shape), execute over an integer
+   slot frame.  Returns the instance binding (variable names per slot)
+   and a runner. *)
+let prepare_compiled ~cache db q =
+  let plan, binding = Database.prepare ~cache db q in
+  let run on_frame =
+    Plan.execute plan
+      (Database.relation_opt db)
+      (Database.counters db) binding ~on_frame
+  in
+  (binding, run)
+
+let snapshot_frame (binding : Plan.binding) frame =
+  let b = ref Binding.empty in
+  Array.iteri (fun s x -> b := Binding.add x frame.(s) !b) binding.var_names;
+  !b
+
+let is_compiled = function
+  | Compiled | Compiled_nocache -> true
+  | Greedy_indexed | Fixed_indexed | Fixed_scan -> false
+
+let solve ?(plan = Compiled) db (q : Cq.t) ~on_solution =
+  Database.count_probe db;
+  match plan with
+  | Compiled | Compiled_nocache ->
+    let binding, run = prepare_compiled ~cache:(plan = Compiled) db q in
+    run (fun frame -> on_solution (snapshot_frame binding frame))
+  | Greedy_indexed | Fixed_indexed | Fixed_scan ->
+    solve_interpreted ~plan db q ~on_solution
 
 let find_first ?plan db q =
   let result = ref None in
@@ -145,7 +188,18 @@ let find_first ?plan db q =
       false);
   !result
 
-let satisfiable ?plan db q = Option.is_some (find_first ?plan db q)
+let satisfiable ?(plan = Compiled) db q =
+  if is_compiled plan then begin
+    (* No valuation snapshot needed: stop at the first frame. *)
+    Database.count_probe db;
+    let _, run = prepare_compiled ~cache:(plan = Compiled) db q in
+    let found = ref false in
+    run (fun _ ->
+        found := true;
+        false);
+    !found
+  end
+  else Option.is_some (find_first ~plan db q)
 
 let find_all ?plan ?limit db q =
   let results = ref [] in
@@ -159,14 +213,27 @@ let find_all ?plan ?limit db q =
       continue_after ());
   List.rev !results
 
-let count db q =
-  let n = ref 0 in
-  solve db q ~on_solution:(fun _ ->
-      incr n;
-      true);
-  !n
+let count ?(plan = Compiled) db q =
+  if is_compiled plan then begin
+    (* The compiled path counts frames directly — no per-solution
+       valuation map is materialized. *)
+    Database.count_probe db;
+    let _, run = prepare_compiled ~cache:(plan = Compiled) db q in
+    let n = ref 0 in
+    run (fun _ ->
+        incr n;
+        true);
+    !n
+  end
+  else begin
+    let n = ref 0 in
+    solve ~plan db q ~on_solution:(fun _ ->
+        incr n;
+        true);
+    !n
+  end
 
-let distinct_projections db q vars =
+let distinct_projections ?(plan = Compiled) db q vars =
   let qvars = Cq.variables q in
   List.iter
     (fun x ->
@@ -174,12 +241,34 @@ let distinct_projections db q vars =
         invalid_arg
           (Printf.sprintf "Eval.distinct_projections: %s not in query" x))
     vars;
-  let acc = ref Tuple.Set.empty in
-  solve db q ~on_solution:(fun b ->
-      let t = Array.of_list (List.map (fun x -> Binding.find x b) vars) in
-      acc := Tuple.Set.add t !acc;
-      true);
-  !acc
+  if is_compiled plan then begin
+    Database.count_probe db;
+    let binding, run = prepare_compiled ~cache:(plan = Compiled) db q in
+    (* Project straight out of the slot frame. *)
+    let slot_of x =
+      let slot = ref (-1) in
+      Array.iteri
+        (fun s y -> if String.equal x y then slot := s)
+        binding.Plan.var_names;
+      assert (!slot >= 0);
+      !slot
+    in
+    let slots = Array.of_list (List.map slot_of vars) in
+    let acc = ref Tuple.Set.empty in
+    run (fun frame ->
+        let t = Array.map (fun s -> frame.(s)) slots in
+        acc := Tuple.Set.add t !acc;
+        true);
+    !acc
+  end
+  else begin
+    let acc = ref Tuple.Set.empty in
+    solve ~plan db q ~on_solution:(fun b ->
+        let t = Array.of_list (List.map (fun x -> Binding.find x b) vars) in
+        acc := Tuple.Set.add t !acc;
+        true);
+    !acc
+  end
 
 let check_ground db q =
   if not (Cq.is_ground q) then

@@ -1,14 +1,24 @@
 (** Conjunctive-query evaluation.
 
-    A backtracking join: at each step the evaluator picks the cheapest
-    remaining atom under the current partial valuation (ground atoms are
-    membership tests, atoms with a bound column use that column's hash
-    index, everything else is a scan) and extends the valuation tuple by
-    tuple.
+    Two evaluators share this interface:
+
+    - the {e compiled} evaluator (default): the query is canonicalized
+      — variables numbered into integer slots, constants abstracted into
+      parameters — and lowered once into a {!Plan.t} whose join order
+      and access paths are fixed per binding stage.  Plans are cached on
+      the database instance keyed by query shape, so isomorphic probes
+      (the common case in the coordination algorithms: thousands of
+      structurally identical queries differing only in constants)
+      compile exactly once.  The hot path runs over a slot-indexed
+      binding frame with no string hashing and no per-node re-planning.
+    - the {e interpreted} evaluator: a backtracking join that re-plans
+      at each step, keyed by variable-name strings.  Kept for
+      differential testing and for the evaluator ablation.
 
     Each top-level call counts as one database probe
     ({!Database.count_probe}), mirroring "one SQL query" in the paper's
-    experiments. *)
+    experiments; plan-cache hits/misses and tuples scanned land in
+    {!Database.counters}. *)
 
 module Binding : Map.S with type key = string
 (** Valuations: finite maps from variable names to values. *)
@@ -16,20 +26,29 @@ module Binding : Map.S with type key = string
 type valuation = Value.t Binding.t
 
 exception Unknown_relation of string
-(** Raised when a query mentions a relation absent from the instance. *)
+(** Raised when a query mentions a relation absent from the instance.
+    (Physically equal to {!Plan.Unknown_relation}.) *)
 
 exception Arity_mismatch of string * int * int
-(** [Arity_mismatch (rel, got, expected)]. *)
+(** [Arity_mismatch (rel, got, expected)].
+    (Physically equal to {!Plan.Arity_mismatch}.) *)
 
 type plan =
+  | Compiled
+      (** default: compile-once slot plan, served from the per-database
+          shape-keyed cache *)
+  | Compiled_nocache
+      (** compile-once slot plan, recompiled on every call — isolates
+          the cache's contribution in the ablation benchmarks *)
   | Greedy_indexed
-      (** default: cheapest atom next, hash-index access paths *)
+      (** interpreted: cheapest atom next at every backtracking node,
+          hash-index access paths *)
   | Fixed_indexed
-      (** atoms in syntactic order, still index-backed — isolates the
-          benefit of dynamic ordering in the ablation benchmarks *)
+      (** interpreted: atoms in syntactic order, still index-backed —
+          isolates the benefit of dynamic ordering *)
   | Fixed_scan
-      (** atoms in syntactic order, full scans only — what evaluation
-          costs without any index *)
+      (** interpreted: atoms in syntactic order, full scans only — what
+          evaluation costs without any index *)
 
 val find_first : ?plan:plan -> Database.t -> Cq.t -> valuation option
 (** Choose-1 semantics: the first satisfying valuation, if any.  The empty
@@ -42,10 +61,12 @@ val find_all : ?plan:plan -> ?limit:int -> Database.t -> Cq.t -> valuation list
     Two valuations agreeing on all variables of the query are returned
     once. *)
 
-val count : Database.t -> Cq.t -> int
-(** Number of distinct satisfying valuations. *)
+val count : ?plan:plan -> Database.t -> Cq.t -> int
+(** Number of distinct satisfying valuations.  On the compiled path no
+    per-solution valuation map is materialized. *)
 
-val distinct_projections : Database.t -> Cq.t -> string list -> Tuple.Set.t
+val distinct_projections :
+  ?plan:plan -> Database.t -> Cq.t -> string list -> Tuple.Set.t
 (** [distinct_projections db q vars] is the set of distinct tuples of
     values the listed variables take over all satisfying valuations.
     @raise Invalid_argument if some listed variable does not occur in [q]. *)
@@ -71,11 +92,11 @@ type plan_step = {
 }
 
 val explain : Database.t -> Cq.t -> plan_step list
-(** The order and access paths the greedy planner would choose before
-    any tuple is read: constants drive index choices, variables become
-    bound as atoms are placed.  The dynamic planner can deviate at run
-    time (it re-plans with actual bindings); this is the static
-    approximation, for logging and tuning. *)
+(** The order and access paths the greedy interpreted planner would
+    choose before any tuple is read: constants drive index choices,
+    variables become bound as atoms are placed.  The compiled
+    evaluator's actual plan (constants abstracted) can be rendered with
+    {!Plan.pp}. *)
 
 val pp_plan : Format.formatter -> plan_step list -> unit
 

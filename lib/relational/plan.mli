@@ -1,0 +1,87 @@
+(** Compile-once conjunctive-query plans.
+
+    {!canonicalize} lowers a {!Cq.t} to a *shape*: variables become
+    integer slots (numbered in first-occurrence order) and constants
+    become positional parameters.  The shape's {e key} identifies every
+    query isomorphic to it — same relation symbols and term pattern,
+    constants abstracted — so a per-database table keyed on it serves as
+    a plan cache for the thousands of isomorphic probes the coordination
+    algorithms issue ({!Database.prepare}).
+
+    {!compile} fixes the join order and each atom's access path once per
+    binding stage: which slots are bound when an atom runs is a static
+    property of the order, so execution does no per-node re-planning, no
+    string hashing, and no binding-undo bookkeeping.  The single
+    remaining run-time decision is which bound column to probe when an
+    atom has several — genuinely data-dependent, resolved with one
+    {!Relation.count_matching} call per column on stage entry.
+
+    {!execute} runs a plan over a [Value.t array] binding frame indexed
+    by slot, invoking a callback per solution.  The interpreted
+    evaluator in {!Eval} remains available for differential testing. *)
+
+exception Unknown_relation of string
+exception Arity_mismatch of string * int * int
+(** Same meaning as the exceptions re-exported by {!Eval}:
+    [Arity_mismatch (rel, got, expected)]. *)
+
+type arg =
+  | Slot of int   (** a variable slot of the binding frame *)
+  | Param of int  (** a constant parameter of the query instance *)
+
+type t
+(** A compiled plan.  Pure description: contains relation {e names},
+    not relation handles, so it survives table drop/re-creation (arities
+    are re-validated on execution). *)
+
+type binding = {
+  params : Value.t array;   (** concrete constants, by parameter position *)
+  var_names : string array; (** source variable name of each slot *)
+}
+(** The per-instance residue of canonicalization — what distinguishes a
+    specific query from the shared shape. *)
+
+type shape
+
+val canonicalize : Cq.t -> string * shape * binding
+(** [canonicalize q] is [(key, shape, binding)].  Two queries get equal
+    keys iff they are isomorphic (equal up to variable renaming and
+    constant values); such queries can execute the same compiled plan
+    under their own [binding]. *)
+
+val key : Cq.t -> string
+(** Just the cache key of {!canonicalize}. *)
+
+val compile : (string -> Relation.t option) -> key:string -> shape -> t
+(** [compile lookup ~key shape] chooses the join order and access paths.
+    Relation cardinalities (from [lookup]) break ties; per-constant
+    selectivities cannot be used — constants are abstracted — which is
+    what makes the result safely shareable across isomorphic queries.
+    @raise Unknown_relation, Arity_mismatch as {!Eval} would. *)
+
+val compile_query : (string -> Relation.t option) -> Cq.t -> t * binding
+(** One-shot [canonicalize] + [compile]. *)
+
+val execute :
+  t ->
+  (string -> Relation.t option) ->
+  Counters.t ->
+  binding ->
+  on_frame:(Value.t array -> bool) ->
+  unit
+(** [execute plan lookup counters binding ~on_frame] enumerates
+    solutions.  [on_frame] receives the binding frame — every slot holds
+    its value; index with the positions of [binding.var_names] — and
+    returns whether to continue.  The frame is reused between calls:
+    callers must copy what they keep.  Tuples examined are added to
+    [counters.tuples_scanned].
+    @raise Invalid_argument if [binding] has the wrong parameter count.
+    @raise Unknown_relation, Arity_mismatch when the database no longer
+    matches the plan (e.g. a table was dropped or re-created). *)
+
+val nslots : t -> int
+
+val plan_key : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** Renders the step order and access paths, for logs and tests. *)

@@ -1,13 +1,23 @@
+(* One index posting: the row ids whose column holds a given value.  The
+   ids vector may contain tombstoned rows (filtered against [live] on
+   read); [count] tracks live rows only.  When dead ids outnumber live
+   ones the posting is filtered in place, so hot keys that see repeated
+   delete/insert cycles do not make scans re-walk dead row ids
+   forever. *)
+type posting = {
+  mutable count : int;   (* live rows with this value *)
+  ids : int Vec.t;       (* row ids, possibly stale *)
+}
+
 type t = {
   schema : Schema.t;
   mutable tuples : Tuple.t Vec.t;
   mutable live : bool Vec.t;            (* tombstones, parallel to tuples *)
   mutable present : int Tuple.Hashtbl.t; (* tuple -> live row id *)
   mutable dead_count : int;
-  (* indexes.(c) maps a value of column c to the count of LIVE rows and
-     the list of row ids (possibly containing tombstoned rows, filtered
-     on read); built lazily on first lookup of column c. *)
-  mutable indexes : (int * int list) Value.Hashtbl.t option array;
+  (* indexes.(c) maps a value of column c to its posting; built lazily on
+     first lookup of column c. *)
+  mutable indexes : posting Value.Hashtbl.t option array;
 }
 
 let create schema =
@@ -36,10 +46,14 @@ let check_arity r t =
 
 let index_row idx row t c =
   let v = t.(c) in
-  let count, rows =
-    Option.value ~default:(0, []) (Value.Hashtbl.find_opt idx v)
-  in
-  Value.Hashtbl.replace idx v (count + 1, row :: rows)
+  match Value.Hashtbl.find_opt idx v with
+  | Some p ->
+    p.count <- p.count + 1;
+    Vec.push p.ids row
+  | None ->
+    let p = { count = 1; ids = Vec.create () } in
+    Vec.push p.ids row;
+    Value.Hashtbl.add idx v p
 
 let insert r t =
   check_arity r t;
@@ -78,6 +92,12 @@ let compact r =
   r.dead_count <- 0;
   r.indexes <- Array.make (arity r) None
 
+(* Drop tombstoned ids once they outnumber live ones (dead fraction
+   above 1/2), keeping index scans proportional to live matches. *)
+let maybe_prune_posting r p =
+  if Vec.length p.ids > 2 * p.count then
+    Vec.filter_in_place (fun row -> Vec.get r.live row) p.ids
+
 let delete r t =
   check_arity r t;
   match Tuple.Hashtbl.find_opt r.present t with
@@ -86,7 +106,8 @@ let delete r t =
     Tuple.Hashtbl.remove r.present t;
     Vec.set r.live row false;
     r.dead_count <- r.dead_count + 1;
-    (* Keep index counts accurate; dead row ids are filtered on read. *)
+    (* Keep index counts accurate; dead row ids are filtered on read and
+       purged when a posting goes majority-dead. *)
     Array.iteri
       (fun c idx ->
         match idx with
@@ -94,7 +115,9 @@ let delete r t =
         | Some idx -> (
           let v = t.(c) in
           match Value.Hashtbl.find_opt idx v with
-          | Some (count, rows) -> Value.Hashtbl.replace idx v (count - 1, rows)
+          | Some p ->
+            p.count <- p.count - 1;
+            maybe_prune_posting r p
           | None -> ()))
       r.indexes;
     if r.dead_count > Vec.length r.tuples / 2 then compact r;
@@ -131,31 +154,38 @@ let lookup r ~col v =
   let idx = ensure_index r col in
   match Value.Hashtbl.find_opt idx v with
   | None -> []
-  | Some (_, rows) ->
-    List.filter_map
-      (fun row ->
-        if Vec.get r.live row then Some (Vec.get r.tuples row) else None)
-      rows
+  | Some p ->
+    List.rev
+      (Vec.fold_left
+         (fun acc row ->
+           if Vec.get r.live row then Vec.get r.tuples row :: acc else acc)
+         [] p.ids)
 
 let iter_matching r ~col v f =
   let idx = ensure_index r col in
   match Value.Hashtbl.find_opt idx v with
   | None -> ()
-  | Some (_, rows) ->
-    List.iter
+  | Some p ->
+    Vec.iter
       (fun row -> if Vec.get r.live row then f (Vec.get r.tuples row))
-      rows
+      p.ids
 
 let count_matching r ~col v =
   let idx = ensure_index r col in
   match Value.Hashtbl.find_opt idx v with
   | None -> 0
-  | Some (count, _) -> count
+  | Some p -> p.count
+
+let posting_length r ~col v =
+  let idx = ensure_index r col in
+  match Value.Hashtbl.find_opt idx v with
+  | None -> 0
+  | Some p -> Vec.length p.ids
 
 let distinct_values r ~col =
   let idx = ensure_index r col in
   Value.Hashtbl.fold
-    (fun v (count, _) acc -> if count > 0 then Value.Set.add v acc else acc)
+    (fun v p acc -> if p.count > 0 then Value.Set.add v acc else acc)
     idx Value.Set.empty
 
 let distinct_projection r ~cols =

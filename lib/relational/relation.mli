@@ -26,9 +26,11 @@ val insert_list : t -> Tuple.t list -> unit
 val delete : t -> Tuple.t -> bool
 (** [delete r t] removes [t]; returns [false] when it was not present.
     Implemented with tombstones: row slots are marked dead and skipped
-    by scans and index lookups; when more than half of the slots are
-    dead the store and its indexes are compacted.  Supports consuming
-    inventory after a coordinating set books its tuples. *)
+    by scans and index lookups; an index posting whose dead ids
+    outnumber its live ones is filtered in place, and when more than
+    half of all slots are dead the whole store and its indexes are
+    compacted.  Supports consuming inventory after a coordinating set
+    books its tuples. *)
 
 val mem : t -> Tuple.t -> bool
 
@@ -50,6 +52,15 @@ val iter_matching : t -> col:int -> Value.t -> (Tuple.t -> unit) -> unit
 val count_matching : t -> col:int -> Value.t -> int
 (** Number of tuples with the given value in the given column, from the
     index.  Used by the evaluator's selectivity heuristic. *)
+
+val posting_length : t -> col:int -> Value.t -> int
+(** Physical length of the index posting for the given column value,
+    including not-yet-pruned tombstoned row ids.  [count_matching] is
+    the live count; the difference is dead ids a scan still has to skip.
+    Postings are pruned in place once dead ids outnumber live ones, so
+    [posting_length r ~col v <= 2 * count_matching r ~col v] holds after
+    any delete (until the whole store compacts).  Exposed for tests and
+    diagnostics. *)
 
 val distinct_values : t -> col:int -> Value.Set.t
 (** The active domain of one column. *)

@@ -67,6 +67,17 @@ let exists p v =
   let rec loop i = i < v.size && (p v.data.(i) || loop (i + 1)) in
   loop 0
 
+let filter_in_place p v =
+  let kept = ref 0 in
+  for i = 0 to v.size - 1 do
+    let x = v.data.(i) in
+    if p x then begin
+      if !kept <> i then v.data.(!kept) <- x;
+      incr kept
+    end
+  done;
+  v.size <- !kept
+
 let to_list v =
   let rec loop i acc = if i < 0 then acc else loop (i - 1) (v.data.(i) :: acc) in
   loop (v.size - 1) []

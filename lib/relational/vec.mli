@@ -34,6 +34,12 @@ val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 
 val exists : ('a -> bool) -> 'a t -> bool
 
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** [filter_in_place p v] keeps only the elements satisfying [p],
+    preserving their order, without allocating a new backing array.
+    Used by the relation store to purge tombstoned row ids from index
+    postings. *)
+
 val to_list : 'a t -> 'a list
 
 val to_array : 'a t -> 'a array

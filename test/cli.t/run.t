@@ -11,7 +11,7 @@ Solving finds Chris and Guy travelling together (the paper's answer).
 
   $ entangle solve figure1.eq
   coordinating set {qC, qG}
-  assignment: {q0.x -> Paris, q0.x1 -> 71, q0.x2 -> 7, q1.y1 -> 71, q1.y2 -> 7}
+  assignment: {q0.x -> Paris, q0.x1 -> 70, q0.x2 -> 7, q1.y1 -> 70, q1.y2 -> 7}
 
 The baseline refuses non-unique sets.
 
@@ -23,7 +23,7 @@ Brute force agrees with the SCC algorithm here.
 
   $ entangle solve figure1.eq --algorithm brute
   coordinating set {qC, qG}
-  assignment: {q0.x -> Paris, q0.x1 -> 71, q0.x2 -> 7, q1.y1 -> 71, q1.y2 -> 7}
+  assignment: {q0.x -> Paris, q0.x1 -> 70, q0.x2 -> 7, q1.y1 -> 70, q1.y2 -> 7}
 
 An unsafe program is rejected with advice.
 
@@ -60,7 +60,7 @@ The explain trace shows the combined SQL per component (timings stripped).
     => unsatisfiable: candidate fails
   component {qW}: skipped, a needed component failed
   result: coordinating set {qC, qG}
-          assignment: {q0.x -> Paris, q0.x1 -> 71, q0.x2 -> 7, q1.y1 -> 71,
+          assignment: {q0.x -> Paris, q0.x1 -> 70, q0.x2 -> 7, q1.y1 -> 70,
                        q1.y2 -> 7}
 
 Workload generation is deterministic from the seed.
@@ -97,3 +97,17 @@ sets book their tuples and later arrivals find them gone.
   pending: ben
   pending (2): amy, ben
   bye: 2 queries coordinated, 2 still pending
+
+The benchmark harness emits machine-readable series: every figure run
+lands in the JSON file under its name (timings vary, so only the keys
+and column headers are stable).
+
+  $ entangle-bench --fast --figures-only --json bench.json > /dev/null
+  $ grep -o '"fig[0-9]*"' bench.json
+  "fig4"
+  "fig5"
+  "fig6"
+  "fig7"
+  "fig8"
+  $ grep -c '"columns"' bench.json
+  5

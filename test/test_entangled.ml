@@ -474,7 +474,7 @@ let test_printers () =
   Alcotest.(check bool) "db pp mentions relations" true
     (String.length (Format.asprintf "%a" Relational.Database.pp db) > 0);
   let stats = Coordination.Stats.create () in
-  Alcotest.(check int) "stats row has 7 fields" 7
+  Alcotest.(check int) "stats row has 10 fields" 10
     (List.length (Coordination.Stats.to_row stats))
 
 let suite =

@@ -215,4 +215,10 @@ let suite =
     qtest ~count:200 "count = length find_all" instance_arb (fun inst ->
         let db, query = build_instance inst in
         Eval.count db query = List.length (Eval.find_all db query));
+    qtest ~count:300 "compiled = interpreted" instance_arb (fun inst ->
+        let db, query = build_instance inst in
+        let interpreted = Eval.find_all ~plan:Eval.Greedy_indexed db query in
+        valuations_equal interpreted (Eval.find_all ~plan:Eval.Compiled db query)
+        && valuations_equal interpreted
+             (Eval.find_all ~plan:Eval.Compiled_nocache db query));
   ]

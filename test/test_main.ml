@@ -3,6 +3,7 @@ let () =
     [
       ("relational", Test_relational.suite);
       ("eval", Test_eval.suite);
+      ("plan", Test_plan.suite);
       ("graphs", Test_graphs.suite);
       ("entangled", Test_entangled.suite);
       ("algorithms", Test_algorithms.suite);
