@@ -21,11 +21,31 @@ let csv_dir : string option ref = ref None
 let probe_latency_s : float ref = ref 0.0
 
 (* The series themselves live in {!Series} so `--json` can drain them
-   too. *)
-let csv_start = Series.start
+   too.  Each series gets a fresh metrics window: probe-latency
+   percentiles from the evaluator's Obs histogram are attached to the
+   series at finish, so BENCH json carries p50/p95/p99 per figure. *)
+let csv_start name columns =
+  Obs.reset_metrics ();
+  Series.start name columns
+
+let attach_probe_metrics name =
+  if Obs.metrics_on () then
+    match Obs.Histogram.find "eval.probe_ns" with
+    | Some h when Obs.Histogram.count h > 0 ->
+      let us p = Obs.Histogram.percentile h p /. 1e3 in
+      Series.metric name "probes" (string_of_int (Obs.Histogram.count h));
+      Series.metric name "probe_p50_us" (Printf.sprintf "%.1f" (us 0.50));
+      Series.metric name "probe_p95_us" (Printf.sprintf "%.1f" (us 0.95));
+      Series.metric name "probe_p99_us" (Printf.sprintf "%.1f" (us 0.99));
+      Series.metric name "probe_max_us"
+        (Printf.sprintf "%.1f"
+           (Int64.to_float (Obs.Histogram.max_value h) /. 1e3))
+    | Some _ | None -> ()
+
 let csv_row = Series.row
 
 let csv_finish name =
+  attach_probe_metrics name;
   match !csv_dir with
   | Some dir ->
     let path = Filename.concat dir (name ^ ".csv") in

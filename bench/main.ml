@@ -11,8 +11,8 @@
 
 let usage =
   "main.exe [--fast] [--figure N]... [--ablation \
-   evaluator|preprocess|selection]... [--bechamel] [--figures-only] \
-   [--json FILE]"
+   evaluator|preprocess|selection|minimize|realistic|parallel|online|\
+   observability]... [--bechamel] [--figures-only] [--json FILE]"
 
 let () =
   let figures = ref [] in
@@ -41,6 +41,10 @@ let () =
     ]
   in
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  (* Metrics stay on for the whole run: the histograms feed each
+     figure's probe-latency percentiles in `--json` output.  The
+     `observability` ablation toggles this itself to measure overhead. *)
+  Obs.set_metrics true;
   let fast = !fast in
   let ran_something = ref false in
   List.iter
@@ -85,6 +89,9 @@ let () =
       | "online" ->
         if fast then Ablations.online ~rows:5_000 ~n:20 ()
         else Ablations.online ()
+      | "observability" ->
+        if fast then Ablations.observability ~rows:5_000 ~n:15 ~repeats:3 ()
+        else Ablations.observability ()
       | s -> Printf.eprintf "unknown ablation %s\n" s)
     (List.rev !ablations);
   if !bechamel_only then begin

@@ -6,7 +6,14 @@
 (* name -> header :: rows, rows kept in reverse insertion order *)
 let tables : (string, string list list) Hashtbl.t = Hashtbl.create 8
 
-let start name columns = Hashtbl.replace tables name [ columns ]
+(* name -> key/value metrics attached to a series (e.g. probe-latency
+   percentiles from the Obs histograms), reverse insertion order *)
+let table_metrics : (string, (string * string) list) Hashtbl.t =
+  Hashtbl.create 8
+
+let start name columns =
+  Hashtbl.replace tables name [ columns ];
+  Hashtbl.remove table_metrics name
 
 let row name values =
   match Hashtbl.find_opt tables name with
@@ -16,6 +23,15 @@ let row name values =
 let rows name =
   match Hashtbl.find_opt tables name with
   | Some rows -> List.rev rows
+  | None -> []
+
+let metric name key value =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt table_metrics name) in
+  Hashtbl.replace table_metrics name ((key, value) :: existing)
+
+let metrics name =
+  match Hashtbl.find_opt table_metrics name with
+  | Some kvs -> List.rev kvs
   | None -> []
 
 let names () = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tables [])
@@ -68,6 +84,18 @@ let to_json () =
       add_list b add_string columns;
       Buffer.add_string b ", \"rows\": ";
       add_list b (fun b r -> add_list b add_cell r) data;
+      (match metrics name with
+      | [] -> ()
+      | kvs ->
+        Buffer.add_string b ", \"metrics\": {";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string b ", ";
+            add_string b k;
+            Buffer.add_string b ": ";
+            add_cell b v)
+          kvs;
+        Buffer.add_char b '}');
       Buffer.add_char b '}')
     (names ());
   Buffer.add_string b "\n}\n";

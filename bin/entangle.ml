@@ -103,84 +103,148 @@ let solve_cmd =
             "Print a step-by-step trace of the SCC algorithm, including \
              the SQL each candidate set sends to the database.")
   in
-  let run file algorithm first stats dot explain =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Record a structured execution trace (solver phases, per-probe \
+             spans) to $(docv); see $(b,--trace-format).")
+  in
+  let trace_format =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+      & info [ "trace-format" ] ~docv:"FORMAT"
+          ~doc:
+            "Trace encoding: $(b,chrome) (a $(b,trace_event) JSON array, \
+             loadable in chrome://tracing or Perfetto) or $(b,jsonl) (one \
+             JSON object per line).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Record latency histograms and counters during evaluation and \
+             dump them (with p50/p95/p99) after the answer.")
+  in
+  (* The solver body computes an exit code instead of exiting so an
+     installed trace sink always writes its trailer (a Chrome trace
+     without the closing bracket is not valid JSON). *)
+  let run file algorithm first stats dot explain trace trace_format metrics =
     handle_syntax @@ fun () ->
     let db, input = load file in
-    if explain then begin
-      (match Coordination.Explain.trace db input with
-      | Error (Coordination.Scc_algo.Not_safe ws) ->
-        Printf.eprintf "the query set is not safe (%d ambiguous postconditions)\n"
-          (List.length ws);
-        exit 1
-      | Ok report -> Format.printf "%a@." (Coordination.Explain.pp db) report);
-      exit 0
-    end;
-    let write_dot queries (graph : Entangled.Coordination_graph.t) highlight =
-      match dot with
-      | None -> ()
-      | Some path ->
-        Graphs.Dot.to_file
-          ~label:(fun i -> queries.(i).Entangled.Query.name)
-          ~highlight graph.graph ~path
-    in
-    match algorithm with
-    | Scc -> (
-      let selection =
-        if first then Coordination.Scc_algo.First_found
-        else Coordination.Scc_algo.Largest
-      in
-      match Coordination.Scc_algo.solve ~selection db input with
-      | Error (Coordination.Scc_algo.Not_safe ws) ->
-        Printf.eprintf
-          "the query set is not safe (%d ambiguous postconditions); try the \
-           consistent-coordination API or `--algorithm brute`\n"
-          (List.length ws);
-        exit 1
-      | Ok outcome ->
-        let in_solution i =
-          match outcome.solution with
-          | Some s -> List.mem i s.members
-          | None -> false
+    if metrics then Obs.set_metrics true;
+    let solve_it () =
+      if explain then
+        match Coordination.Explain.trace db input with
+        | Error (Coordination.Scc_algo.Not_safe ws) ->
+          Printf.eprintf
+            "the query set is not safe (%d ambiguous postconditions)\n"
+            (List.length ws);
+          1
+        | Ok report ->
+          Format.printf "%a@." (Coordination.Explain.pp db) report;
+          0
+      else begin
+        let write_dot queries (graph : Entangled.Coordination_graph.t) highlight =
+          match dot with
+          | None -> ()
+          | Some path ->
+            Graphs.Dot.to_file
+              ~label:(fun i -> queries.(i).Entangled.Query.name)
+              ~highlight graph.graph ~path
         in
-        write_dot outcome.queries outcome.graph in_solution;
-        print_solution db outcome.queries outcome.solution outcome.stats stats)
-    | Gupta -> (
-      match Coordination.Gupta.solve db input with
-      | Error e ->
-        Format.eprintf "baseline not applicable: %a@."
-          (Coordination.Gupta.pp_error (Entangled.Query.rename_set input))
-          e;
-        exit 1
-      | Ok outcome ->
-        print_solution db outcome.queries outcome.solution outcome.stats stats)
-    | Single_connected -> (
-      match Coordination.Single_connected.solve db input with
-      | Error e ->
-        Format.eprintf "not single-connected: %a@."
-          (Coordination.Single_connected.pp_error (Entangled.Query.rename_set input))
-          e;
-        exit 1
-      | Ok outcome ->
-        print_solution db outcome.queries outcome.solution outcome.stats stats)
-    | Brute -> (
-      let queries = Entangled.Query.rename_set input in
-      if Array.length queries > Coordination.Brute.max_queries then begin
-        Printf.eprintf "brute force is limited to %d queries\n"
-          Coordination.Brute.max_queries;
-        exit 1
-      end;
-      match Coordination.Brute.maximum db queries with
-      | None -> print_endline "no coordinating set exists"
-      | Some s -> (
-        Format.printf "%a@." (Entangled.Solution.pp queries) s;
-        match Entangled.Solution.validate db queries s with
-        | Ok () -> ()
-        | Error m -> Format.printf "WARNING: validation failed: %s@." m))
+        match algorithm with
+        | Scc -> (
+          let selection =
+            if first then Coordination.Scc_algo.First_found
+            else Coordination.Scc_algo.Largest
+          in
+          match Coordination.Scc_algo.solve ~selection db input with
+          | Error (Coordination.Scc_algo.Not_safe ws) ->
+            Printf.eprintf
+              "the query set is not safe (%d ambiguous postconditions); try \
+               the consistent-coordination API or `--algorithm brute`\n"
+              (List.length ws);
+            1
+          | Ok outcome ->
+            let in_solution i =
+              match outcome.solution with
+              | Some s -> List.mem i s.members
+              | None -> false
+            in
+            write_dot outcome.queries outcome.graph in_solution;
+            print_solution db outcome.queries outcome.solution outcome.stats
+              stats;
+            0)
+        | Gupta -> (
+          match Coordination.Gupta.solve db input with
+          | Error e ->
+            Format.eprintf "baseline not applicable: %a@."
+              (Coordination.Gupta.pp_error (Entangled.Query.rename_set input))
+              e;
+            1
+          | Ok outcome ->
+            print_solution db outcome.queries outcome.solution outcome.stats
+              stats;
+            0)
+        | Single_connected -> (
+          match Coordination.Single_connected.solve db input with
+          | Error e ->
+            Format.eprintf "not single-connected: %a@."
+              (Coordination.Single_connected.pp_error
+                 (Entangled.Query.rename_set input))
+              e;
+            1
+          | Ok outcome ->
+            print_solution db outcome.queries outcome.solution outcome.stats
+              stats;
+            0)
+        | Brute ->
+          let queries = Entangled.Query.rename_set input in
+          if Array.length queries > Coordination.Brute.max_queries then begin
+            Printf.eprintf "brute force is limited to %d queries\n"
+              Coordination.Brute.max_queries;
+            1
+          end
+          else begin
+            (match Coordination.Brute.maximum db queries with
+            | None -> print_endline "no coordinating set exists"
+            | Some s -> (
+              Format.printf "%a@." (Entangled.Solution.pp queries) s;
+              match Entangled.Solution.validate db queries s with
+              | Ok () -> ()
+              | Error m -> Format.printf "WARNING: validation failed: %s@." m));
+            0
+          end
+      end
+    in
+    let code =
+      match trace with
+      | None -> solve_it ()
+      | Some path ->
+        let oc = open_out path in
+        let sink =
+          match trace_format with
+          | `Chrome -> Obs.chrome_sink (output_string oc)
+          | `Jsonl -> Obs.jsonl_sink (output_string oc)
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Obs.with_sink sink solve_it)
+    in
+    if metrics then Format.printf "-- metrics --@.%a@?" Obs.pp_metrics ();
+    if code <> 0 then exit code
   in
   let doc = "Find a coordinating set for an entangled-query program." in
   Cmd.v
     (Cmd.info "solve" ~doc)
-    Cmdliner.Term.(const run $ file $ algorithm $ first $ stats $ dot $ explain)
+    Cmdliner.Term.(
+      const run $ file $ algorithm $ first $ stats $ dot $ explain $ trace
+      $ trace_format $ metrics)
 
 (* ------------------------------ check ----------------------------- *)
 

@@ -92,11 +92,15 @@ let subsets_by_size n =
 let members_of_mask n mask =
   List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n Fun.id)
 
+let span_args n () = [ ("queries", Obs.Int n); ("subsets", Obs.Int ((1 lsl n) - 1)) ]
+
 let exists_coordinating_set ?stats db queries =
   let n = Array.length queries in
   check_size n;
+  Obs.with_span ~args:(span_args n) "brute.exists" @@ fun () ->
   with_stats stats db @@ fun () ->
-  let graph = Coordination_graph.build queries in
+  let graph = Obs.with_span "brute.graph" (fun () -> Coordination_graph.build queries) in
+  Obs.with_span "brute.enumerate" @@ fun () ->
   List.exists
     (fun mask ->
       Option.is_some (solve_subset db graph ~members:(members_of_mask n mask)))
@@ -105,8 +109,10 @@ let exists_coordinating_set ?stats db queries =
 let maximum ?stats db queries =
   let n = Array.length queries in
   check_size n;
+  Obs.with_span ~args:(span_args n) "brute.maximum" @@ fun () ->
   with_stats stats db @@ fun () ->
-  let graph = Coordination_graph.build queries in
+  let graph = Obs.with_span "brute.graph" (fun () -> Coordination_graph.build queries) in
+  Obs.with_span "brute.enumerate" @@ fun () ->
   let rec loop = function
     | [] -> None
     | mask :: rest -> (
@@ -120,8 +126,10 @@ let maximum ?stats db queries =
 let all_coordinating_subsets ?stats db queries =
   let n = Array.length queries in
   check_size n;
+  Obs.with_span ~args:(span_args n) "brute.all_subsets" @@ fun () ->
   with_stats stats db @@ fun () ->
-  let graph = Coordination_graph.build queries in
+  let graph = Obs.with_span "brute.graph" (fun () -> Coordination_graph.build queries) in
+  Obs.with_span "brute.enumerate" @@ fun () ->
   List.filter_map
     (fun mask ->
       let members = members_of_mask n mask in

@@ -302,6 +302,10 @@ let finalize db p ~candidates ~best stats =
   }
 
 let solve ?(selection = `Largest) db config input =
+  Obs.with_span
+    ~args:(fun () -> [ ("queries", Obs.Int (List.length input)) ])
+    "consistent.solve"
+  @@ fun () ->
   let stats = Stats.create () in
   let t_start = Stats.now_ns () in
   let counters0 = Database.snapshot_counters db in
@@ -312,7 +316,7 @@ let solve ?(selection = `Largest) db config input =
     Ok outcome
   in
   let t_graph = Stats.now_ns () in
-  match prepare db config input with
+  match Obs.with_span "consistent.prepare" (fun () -> prepare db config input) with
   | Error e ->
     stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
     Error e
@@ -324,24 +328,34 @@ let solve ?(selection = `Largest) db config input =
        otherwise unused by this algorithm) so the parallel ablation can
        report the parallelisable fraction. *)
     let t_loop = Stats.now_ns () in
-    (try
-       List.iter
-         (fun v ->
-           stats.candidates <- stats.candidates + 1;
-           let members, rounds = survivors p v in
-           stats.cleaning_rounds <- stats.cleaning_rounds + rounds;
-           let size = List.length members in
-           candidates := (v, size) :: !candidates;
-           (match !best with
-           | Some (_, _, best_size) when best_size >= size -> ()
-           | _ when size > 0 -> best := Some (v, members, size)
-           | _ -> ());
-           if selection = `First && size > 0 then raise Exit)
-         (values p)
-     with Exit -> ());
+    Obs.with_span
+      ~args:(fun () ->
+        [
+          ("values", Obs.Int stats.candidates);
+          ("cleaning_rounds", Obs.Int stats.cleaning_rounds);
+        ])
+      "consistent.values_loop"
+      (fun () ->
+        try
+          List.iter
+            (fun v ->
+              stats.candidates <- stats.candidates + 1;
+              let members, rounds = survivors p v in
+              stats.cleaning_rounds <- stats.cleaning_rounds + rounds;
+              let size = List.length members in
+              candidates := (v, size) :: !candidates;
+              (match !best with
+              | Some (_, _, best_size) when best_size >= size -> ()
+              | _ when size > 0 -> best := Some (v, members, size)
+              | _ -> ());
+              if selection = `First && size > 0 then raise Exit)
+            (values p)
+        with Exit -> ());
     stats.unify_ns <- Int64.sub (Stats.now_ns ()) t_loop;
     let best = Option.map (fun (v, members, _) -> (v, members)) !best in
-    finish (finalize db p ~candidates:(List.rev !candidates) ~best stats)
+    finish
+      (Obs.with_span "consistent.ground" (fun () ->
+           finalize db p ~candidates:(List.rev !candidates) ~best stats))
 
 let to_solution db outcome =
   match outcome.chosen_value with

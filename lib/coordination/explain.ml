@@ -6,12 +6,27 @@ type report = {
   events : Scc_algo.event list;
 }
 
+(* Collect the solver's typed payloads from the process-wide Obs stream:
+   install a memory sink for the duration of the call, then recover the
+   [Scc_event] payloads in emission order.  Any other sinks (say a
+   --trace file) keep observing the same run. *)
 let trace ?selection ?preprocess ?minimize db input =
-  let events = ref [] in
-  let observer e = events := e :: !events in
-  match Scc_algo.solve ?selection ?preprocess ?minimize ~observer db input with
+  let sink, contents = Obs.memory_sink () in
+  let result =
+    Obs.with_sink sink (fun () ->
+        Scc_algo.solve ?selection ?preprocess ?minimize db input)
+  in
+  match result with
   | Error e -> Error e
-  | Ok outcome -> Ok { outcome; events = List.rev !events }
+  | Ok outcome ->
+    let events =
+      List.filter_map
+        (function
+          | Obs.Event { Obs.ev_payload = Scc_algo.Scc_event e; _ } -> Some e
+          | Obs.Event _ | Obs.Span _ -> None)
+        (contents ())
+    in
+    Ok { outcome; events }
 
 let names (queries : Query.t array) is =
   String.concat ", " (List.map (fun i -> queries.(i).Query.name) is)

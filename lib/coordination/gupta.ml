@@ -21,6 +21,10 @@ type outcome = {
 }
 
 let solve db input =
+  Obs.with_span
+    ~args:(fun () -> [ ("queries", Obs.Int (List.length input)) ])
+    "gupta.solve"
+  @@ fun () ->
   let stats = Stats.create () in
   let t_start = Stats.now_ns () in
   let queries = Query.rename_set input in
@@ -34,7 +38,10 @@ let solve db input =
   if Array.length queries = 0 then
     finish (Ok { queries; solution = None; stats })
   else
-  let graph, graph_ns = Stats.timed (fun () -> Coordination_graph.build queries) in
+  let graph, graph_ns =
+    Stats.timed (fun () ->
+        Obs.with_span "gupta.graph" (fun () -> Coordination_graph.build queries))
+  in
   stats.graph_ns <- graph_ns;
   match Safety.classify graph with
   | `Unsafe -> finish (Error (Not_safe (Safety.unsafe_posts graph)))
@@ -42,14 +49,17 @@ let solve db input =
   | `Safe_unique -> (
     let members = List.init (Array.length queries) Fun.id in
     let unified, unify_ns =
-      Stats.timed (fun () -> Combine.unify_set graph ~members)
+      Stats.timed (fun () ->
+          Obs.with_span "gupta.unify" (fun () -> Combine.unify_set graph ~members))
     in
     stats.unify_ns <- unify_ns;
     match unified with
     | Error f -> finish (Error (Unification_failed f))
     | Ok subst -> (
       let witness, ground_ns =
-        Stats.timed (fun () -> Ground.solve db queries ~members subst)
+        Stats.timed (fun () ->
+            Obs.with_span "gupta.ground" (fun () ->
+                Ground.solve db queries ~members subst))
       in
       stats.ground_ns <- ground_ns;
       stats.candidates <- 1;

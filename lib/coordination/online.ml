@@ -135,6 +135,14 @@ let evaluate engine pool_array positions =
       Ok (Some { queries = satisfied_queries; assignment = solution.assignment }))
 
 let submit engine query =
+  Obs.with_span
+    ~args:(fun () ->
+      [
+        ("query", Obs.Str query.Query.name);
+        ("pool", Obs.Int (List.length engine.pool));
+      ])
+    "online.submit"
+  @@ fun () ->
   engine.pool <- query :: engine.pool;
   if not engine.eager then Pending
   else begin
@@ -155,6 +163,15 @@ let submit engine query =
   end
 
 let flush engine =
+  let pool0 = List.length engine.pool in
+  Obs.with_span
+    ~args:(fun () ->
+      [
+        ("pool", Obs.Int pool0);
+        ("remaining", Obs.Int (List.length engine.pool));
+      ])
+    "online.flush"
+  @@ fun () ->
   let results = ref [] in
   let progress = ref true in
   (* Re-evaluate until a fixpoint: removing one satisfied set can only

@@ -21,11 +21,18 @@ let chunk k xs =
   go 0 xs []
 
 let solve ?domains db config input =
+  Obs.with_span
+    ~args:(fun () -> [ ("queries", Obs.Int (List.length input)) ])
+    "parallel.solve"
+  @@ fun () ->
   let stats = Stats.create () in
   let t_start = Stats.now_ns () in
   let counters0 = Database.snapshot_counters db in
   let t_graph = Stats.now_ns () in
-  match Consistent.prepare db config input with
+  match
+    Obs.with_span "parallel.prepare" (fun () ->
+        Consistent.prepare db config input)
+  with
   | Error e -> Error e
   | Ok p ->
     stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
@@ -46,13 +53,20 @@ let solve ?domains db config input =
         chunk
     in
     let t_loop = Stats.now_ns () in
+    (* The span lives on the parent domain only: Obs state is not
+       domain-safe, so spawned workers run uninstrumented. *)
     let results =
-      match chunk k vs with
-      | [] -> []
-      | first :: rest ->
-        let handles = List.map (fun c -> Domain.spawn (work c)) rest in
-        let mine = work first () in
-        mine :: List.map Domain.join handles
+      Obs.with_span
+        ~args:(fun () ->
+          [ ("domains", Obs.Int k); ("values", Obs.Int (List.length vs)) ])
+        "parallel.values_loop"
+        (fun () ->
+          match chunk k vs with
+          | [] -> []
+          | first :: rest ->
+            let handles = List.map (fun c -> Domain.spawn (work c)) rest in
+            let mine = work first () in
+            mine :: List.map Domain.join handles)
     in
     stats.unify_ns <- Int64.sub (Stats.now_ns ()) t_loop;
     let flat = List.concat results in
@@ -75,7 +89,10 @@ let solve ?domains db config input =
         None flat
       |> Option.map (fun (v, members, _) -> (v, members))
     in
-    let outcome = Consistent.finalize db p ~candidates ~best stats in
+    let outcome =
+      Obs.with_span "parallel.ground" (fun () ->
+          Consistent.finalize db p ~candidates ~best stats)
+    in
     outcome.stats.Stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
     Stats.add_counters outcome.stats
       (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));

@@ -32,6 +32,15 @@ type event =
       witness : Eval.valuation option;
     }
 
+(* Execution events travel the process-wide Obs stream as typed
+   payloads: serializing sinks (--trace) render the args, while
+   Explain recovers the full payload from a memory sink — one emission
+   point for both. *)
+type Obs.payload += Scc_event of event
+
+let names (queries : Query.t array) is =
+  String.concat "," (List.map (fun i -> queries.(i).Query.name) is)
+
 (* Safety restricted to live queries: a live postcondition atom must have
    at most one live candidate head. *)
 let unsafe_posts_masked (graph : Coordination_graph.t) alive =
@@ -68,8 +77,12 @@ let select selection queries candidates =
       Some best)
 
 let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
-    ?(minimize = false) ?observer db input =
-  let emit e = match observer with Some f -> f e | None -> () in
+    ?(minimize = false) db input =
+  Obs.with_span
+    ~args:(fun () -> [ ("queries", Obs.Int (List.length input)) ])
+    "scc.solve"
+  @@ fun () ->
+  let emit name args e = Obs.event ~args ~payload:(Scc_event e) name in
   let stats = Stats.create () in
   let t_start = Stats.now_ns () in
   let counters0 = Database.snapshot_counters db in
@@ -84,23 +97,31 @@ let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
   (* Phase 1: graph construction, preprocessing, SCCs (Figure 6 measures
      exactly this span). *)
   let t_graph = Stats.now_ns () in
-  let graph = Coordination_graph.build queries in
+  let graph =
+    Obs.with_span "scc.graph" (fun () -> Coordination_graph.build queries)
+  in
   let alive = Array.make n true in
-  if preprocess then begin
-    Coordination_graph.prune_unsatisfiable graph ~alive;
-    let dead =
-      List.filter (fun i -> not alive.(i)) (List.init n Fun.id)
-    in
-    if dead <> [] then emit (Pruned dead)
-  end;
+  if preprocess then
+    Obs.with_span "scc.preprocess" (fun () ->
+        Coordination_graph.prune_unsatisfiable graph ~alive;
+        let dead = List.filter (fun i -> not alive.(i)) (List.init n Fun.id) in
+        if dead <> [] then
+          emit "scc.pruned"
+            (fun () -> [ ("dropped", Obs.Str (names queries dead)) ])
+            (Pruned dead));
   let unsafe = unsafe_posts_masked graph alive in
   if unsafe <> [] then begin
     stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
     finish (Error (Not_safe unsafe))
   end
   else begin
-    let scc = Graphs.Scc.compute_masked graph.graph ~alive:(fun v -> alive.(v)) in
-    let condensation = Graphs.Scc.condensation graph.graph scc in
+    let scc, condensation =
+      Obs.with_span "scc.condense" (fun () ->
+          let scc =
+            Graphs.Scc.compute_masked graph.graph ~alive:(fun v -> alive.(v))
+          in
+          (scc, Graphs.Scc.condensation graph.graph scc))
+    in
     stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
     if graph_only then
       finish (Ok { queries; graph; candidates = []; solution = None; stats })
@@ -117,7 +138,9 @@ let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
       let successors = Graphs.Digraph.successors condensation c in
       if List.exists (fun s -> failed.(s)) successors then begin
         failed.(c) <- true;
-        emit (Skipped { component = scc.members.(c) })
+        emit "scc.skipped"
+          (fun () -> [ ("component", Obs.Str (names queries scc.members.(c))) ])
+          (Skipped { component = scc.members.(c) })
       end
       else begin
         let members =
@@ -126,21 +149,39 @@ let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
             @ List.concat_map (fun s -> covered.(s)) successors)
         in
         let unified, unify_ns =
-          Stats.timed (fun () -> Combine.unify_set graph ~members)
+          Stats.timed (fun () ->
+              Obs.with_span
+                ~args:(fun () ->
+                  [ ("members", Obs.Str (names queries members)) ])
+                "scc.unify"
+                (fun () -> Combine.unify_set graph ~members))
         in
         stats.unify_ns <- Int64.add stats.unify_ns unify_ns;
         match unified with
         | Error failure ->
           failed.(c) <- true;
-          emit (Unify_failed { component = scc.members.(c); failure })
+          emit "scc.unify_failed"
+            (fun () ->
+              [ ("component", Obs.Str (names queries scc.members.(c))) ])
+            (Unify_failed { component = scc.members.(c); failure })
         | Ok subst -> (
           let witness, ground_ns =
-            Stats.timed (fun () -> Ground.solve ~minimize db queries ~members subst)
+            Stats.timed (fun () ->
+                Obs.with_span
+                  ~args:(fun () ->
+                    [ ("members", Obs.Str (names queries members)) ])
+                  "scc.ground"
+                  (fun () -> Ground.solve ~minimize db queries ~members subst))
           in
           stats.ground_ns <- Int64.add stats.ground_ns ground_ns;
           stats.candidates <- stats.candidates + 1;
-          if Option.is_some observer then
-            emit
+          if Obs.tracing () then
+            emit "scc.probed"
+              (fun () ->
+                [
+                  ("members", Obs.Str (names queries members));
+                  ("witness", Obs.Bool (Option.is_some witness));
+                ])
               (Probed
                  {
                    component = scc.members.(c);

@@ -41,8 +41,10 @@ type outcome = {
   stats : Stats.t;
 }
 
-(** Execution events, delivered in order to an optional observer —
-    the raw material for {!Explain} traces. *)
+(** Execution events, emitted in order on the {!Obs} stream as
+    {!Scc_event} payloads — the raw material for {!Explain} traces.
+    Serializing trace sinks render the same emissions as named events
+    with query-name args. *)
 type event =
   | Pruned of int list
       (** queries dropped by preprocessing (unsatisfiable postconditions) *)
@@ -56,12 +58,13 @@ type event =
       witness : Eval.valuation option;  (** [None]: unsatisfiable *)
     }
 
+type Obs.payload += Scc_event of event
+
 val solve :
   ?selection:selection ->
   ?preprocess:bool ->
   ?graph_only:bool ->
   ?minimize:bool ->
-  ?observer:(event -> unit) ->
   Database.t ->
   Query.t list ->
   (outcome, error) result

@@ -61,6 +61,10 @@ type outcome = {
 }
 
 let solve db input =
+  Obs.with_span
+    ~args:(fun () -> [ ("queries", Obs.Int (List.length input)) ])
+    "single_connected.solve"
+  @@ fun () ->
   let stats = Stats.create () in
   let t_start = Stats.now_ns () in
   let counters0 = Database.snapshot_counters db in
@@ -71,9 +75,13 @@ let solve db input =
       (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
     result
   in
-  let graph, graph_ns = Stats.timed (fun () -> Coordination_graph.build queries) in
+  let graph, graph_ns =
+    Stats.timed (fun () ->
+        Obs.with_span "single_connected.graph" (fun () ->
+            Coordination_graph.build queries))
+  in
   stats.graph_ns <- graph_ns;
-  match check graph with
+  match Obs.with_span "single_connected.check" (fun () -> check graph) with
   | Error e -> finish (Error e)
   | Ok () ->
     let n = Array.length queries in
@@ -119,15 +127,22 @@ let solve db input =
               | Some subst' -> descend (q :: path) subst' d)
             targets
     in
-    for root = 0 to n - 1 do
-      (* A covered root's chain is a subchain of a found solution; skip. *)
-      let covered =
-        match !best with Some (_, ms, _) -> List.mem root ms | None -> false
-      in
-      if not covered then
-        try descend [] Subst.empty root
-        with Found (members, assignment) -> consider members assignment
-    done;
+    Obs.with_span
+      ~args:(fun () -> [ ("candidates", Obs.Int stats.candidates) ])
+      "single_connected.chains"
+      (fun () ->
+        for root = 0 to n - 1 do
+          (* A covered root's chain is a subchain of a found solution;
+             skip. *)
+          let covered =
+            match !best with
+            | Some (_, ms, _) -> List.mem root ms
+            | None -> false
+          in
+          if not covered then
+            try descend [] Subst.empty root
+            with Found (members, assignment) -> consider members assignment
+        done);
     let solution =
       Option.map
         (fun (_, members, assignment) -> Solution.make ~members ~assignment)

@@ -31,7 +31,10 @@ let add_counters stats (d : Relational.Counters.t) =
   stats.plan_misses <- stats.plan_misses + d.plan_misses;
   stats.tuples_scanned <- stats.tuples_scanned + d.tuples_scanned
 
-let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+(* Delegates to the observability subsystem's CLOCK_MONOTONIC stub:
+   gettimeofday is not monotonic, so spans could go negative under
+   clock adjustment. *)
+let now_ns = Obs.now_ns
 
 let add_span stats get set span = set stats (Int64.add (get stats) span)
 

@@ -26,7 +26,9 @@ val add_counters : t -> Relational.Counters.t -> unit
     into the solver's record: probes, plan hits/misses, tuples scanned. *)
 
 val now_ns : unit -> int64
-(** Monotonic-ish wall-clock timestamp in nanoseconds. *)
+(** Monotonic timestamp in nanoseconds (delegates to {!Obs.now_ns}, i.e.
+    [CLOCK_MONOTONIC]); differences are durations, immune to wall-clock
+    adjustment. *)
 
 val add_span : t -> (t -> int64) -> (t -> int64 -> unit) -> int64 -> unit
 

@@ -1,0 +1,489 @@
+(* Structured tracing and metrics for the whole engine.
+
+   Design constraints, in order:
+
+   1. Near-zero cost when disarmed.  Every instrumentation site guards
+      on one mutable boolean; with no sink installed and metrics off,
+      [with_span] is a load, a branch and a tail call.  Argument lists
+      are thunks, evaluated only when a sink actually consumes them.
+   2. Zero dependencies.  The monotonic clock is a 10-line C stub
+      (CLOCK_MONOTONIC); JSON is emitted by hand; sinks write through a
+      plain [string -> unit] so they work over files, buffers and pipes
+      alike.
+   3. One event stream.  Typed solver events ride along as extensible
+      [payload]s, so `--explain` (which needs the typed data) and
+      `--trace` (which needs the serialized view) are fed by the same
+      emission points and cannot drift. *)
+
+external now_ns : unit -> int64 = "entangle_obs_monotonic_ns"
+
+type arg = Str of string | Int of int | Float of float | Bool of bool
+
+type payload = ..
+
+type payload += No_payload
+
+type span = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;
+  args : (string * arg) list;
+}
+
+type event = {
+  ev_name : string;
+  ev_ts_ns : int64;
+  ev_depth : int;
+  ev_args : (string * arg) list;
+  ev_payload : payload;
+}
+
+type item = Span of span | Event of event
+
+type sink = {
+  on_span : span -> unit;
+  on_event : event -> unit;
+  on_close : unit -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Registry of metrics                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric updates are plain mutations: the engine instruments the
+   orchestrating domain only (the parallel value loop's workers are
+   pure), so no synchronisation is bought where none is needed. *)
+
+module Histogram = struct
+  (* Log2-bucketed: bucket 0 counts values <= 0, bucket i >= 1 counts
+     values in [2^(i-1), 2^i).  63 value buckets cover every positive
+     int64. *)
+  let bucket_count = 64
+
+  type t = {
+    h_name : string;
+    h_help : string;
+    buckets : int array;
+    mutable count : int;
+    mutable sum : int64;
+    mutable max_v : int64;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make ?(help = "") name =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+      let h =
+        {
+          h_name = name;
+          h_help = help;
+          buckets = Array.make bucket_count 0;
+          count = 0;
+          sum = 0L;
+          max_v = Int64.min_int;
+        }
+      in
+      Hashtbl.add registry name h;
+      h
+
+  let find name = Hashtbl.find_opt registry name
+
+  let bucket_of v =
+    if Int64.compare v 0L <= 0 then 0
+    else begin
+      (* Positive int64 values fit 63 bits; index = floor(log2 v) + 1. *)
+      let rec bits acc v = if v = 0L then acc else bits (acc + 1) (Int64.shift_right_logical v 1) in
+      bits 0 v
+    end
+
+  (* Inclusive lower / exclusive upper value bound of a bucket. *)
+  let bucket_bounds i =
+    if i = 0 then (Int64.min_int, 1L)
+    else
+      ( Int64.shift_left 1L (i - 1),
+        if i >= 63 then Int64.max_int else Int64.shift_left 1L i )
+
+  let observe h v =
+    let i = bucket_of v in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.count <- h.count + 1;
+    h.sum <- Int64.add h.sum v;
+    if Int64.compare v h.max_v > 0 then h.max_v <- v
+
+  let count h = h.count
+
+  let sum h = h.sum
+
+  let max_value h = if h.count = 0 then 0L else h.max_v
+
+  let buckets h = Array.copy h.buckets
+
+  (* Percentile estimate: find the bucket holding the rank-th
+     observation and interpolate linearly inside it.  Within one
+     power-of-two bracket the estimate is off by at most 2x, which is
+     plenty for latency reporting. *)
+  let percentile h p =
+    if h.count = 0 then 0.0
+    else begin
+      let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+      let rank = p *. float_of_int h.count in
+      let rank = if rank < 1.0 then 1.0 else rank in
+      let acc = ref 0.0 in
+      let result = ref 0.0 in
+      (try
+         for i = 0 to bucket_count - 1 do
+           let n = float_of_int h.buckets.(i) in
+           if n > 0.0 then begin
+             if !acc +. n >= rank then begin
+               let lo, hi = bucket_bounds i in
+               let lo = if i = 0 then 0.0 else Int64.to_float lo in
+               let hi = Int64.to_float hi in
+               let frac = (rank -. !acc) /. n in
+               result := lo +. ((hi -. lo) *. frac);
+               raise Exit
+             end;
+             acc := !acc +. n
+           end
+         done;
+         result := Int64.to_float (max_value h)
+       with Exit -> ());
+      (* Never report beyond the observed maximum. *)
+      let cap = Int64.to_float (max_value h) in
+      if !result > cap then cap else !result
+    end
+
+  let reset h =
+    Array.fill h.buckets 0 bucket_count 0;
+    h.count <- 0;
+    h.sum <- 0L;
+    h.max_v <- Int64.min_int
+end
+
+module Counter = struct
+  type t = { c_name : string; c_help : string; mutable value : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make ?(help = "") name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { c_name = name; c_help = help; value = 0 } in
+      Hashtbl.add registry name c;
+      c
+
+  (* Labeled counters share the registry under "name{label}" keys, so
+     one dump lists the family together. *)
+  let labeled ?help name label = make ?help (name ^ "{" ^ label ^ "}")
+
+  let find name = Hashtbl.find_opt registry name
+
+  let add c n = c.value <- c.value + n
+
+  let incr c = add c 1
+
+  let value c = c.value
+
+  let reset c = c.value <- 0
+end
+
+let reset_metrics () =
+  Hashtbl.iter (fun _ h -> Histogram.reset h) Histogram.registry;
+  Hashtbl.iter (fun _ c -> Counter.reset c) Counter.registry
+
+(* ------------------------------------------------------------------ *)
+(* Arming                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sinks : sink list ref = ref []
+
+let metrics_enabled = ref false
+
+(* The single flag every hot path reads. *)
+let armed = ref false
+
+let rearm () = armed := !sinks <> [] || !metrics_enabled
+
+let enabled () = !armed
+
+let tracing () = !sinks <> []
+
+let metrics_on () = !metrics_enabled
+
+let set_metrics b =
+  metrics_enabled := b;
+  rearm ()
+
+(* ------------------------------------------------------------------ *)
+(* Spans and events                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let depth = ref 0
+
+let force_args = function Some f -> f () | None -> []
+
+let with_span ?args ?hist name f =
+  (* A span is live if a sink wants it, or if it feeds a histogram and
+     metrics are on; otherwise it must cost one branch. *)
+  let live =
+    match hist with None -> !sinks <> [] | Some _ -> !armed
+  in
+  if not live then f ()
+  else begin
+    let d = !depth in
+    depth := d + 1;
+    let t0 = now_ns () in
+    let finally () =
+      let dur = Int64.sub (now_ns ()) t0 in
+      depth := d;
+      (match hist with
+      | Some h when !metrics_enabled -> Histogram.observe h dur
+      | Some _ | None -> ());
+      match !sinks with
+      | [] -> ()
+      | sinks ->
+        let s =
+          { name; start_ns = t0; dur_ns = dur; depth = d; args = force_args args }
+        in
+        List.iter (fun k -> k.on_span s) sinks
+    in
+    Fun.protect ~finally f
+  end
+
+let event ?args ?(payload = No_payload) name =
+  match !sinks with
+  | [] -> ()
+  | sinks ->
+    let e =
+      {
+        ev_name = name;
+        ev_ts_ns = now_ns ();
+        ev_depth = !depth;
+        ev_args = force_args args;
+        ev_payload = payload;
+      }
+    in
+    List.iter (fun k -> k.on_event e) sinks
+
+(* ------------------------------------------------------------------ *)
+(* Sink management                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let install sink =
+  sinks := sink :: !sinks;
+  rearm ()
+
+let remove sink =
+  sinks := List.filter (fun s -> s != sink) !sinks;
+  rearm ()
+
+let close sink = sink.on_close ()
+
+let with_sink sink f =
+  install sink;
+  Fun.protect
+    ~finally:(fun () ->
+      remove sink;
+      close sink)
+    f
+
+(* ------------------------------------------------------------------ *)
+(* JSON plumbing (shared by the jsonl and chrome sinks)               *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let json_float b f =
+  (* %.3f keeps microsecond timestamps readable; JSON numbers must not
+     be NaN/inf (cannot happen for clock-derived values). *)
+  Buffer.add_string b (Printf.sprintf "%.3f" f)
+
+let json_arg b = function
+  | Str s -> json_escape b s
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> json_float b f
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+
+let json_args b args =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      json_escape b k;
+      Buffer.add_string b ": ";
+      json_arg b v)
+    args;
+  Buffer.add_char b '}'
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let memory_sink () =
+  let items = ref [] in
+  let sink =
+    {
+      on_span = (fun s -> items := Span s :: !items);
+      on_event = (fun e -> items := Event e :: !items);
+      on_close = (fun () -> ());
+    }
+  in
+  (sink, fun () -> List.rev !items)
+
+let pp_arg ppf = function
+  | Str s -> Format.pp_print_string ppf s
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%.3f" f
+  | Bool v -> Format.pp_print_bool ppf v
+
+let pp_args ppf args =
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_arg v) args
+
+(* Human-readable lines, indented by nesting depth.  Spans are emitted
+   when they close, so children print before their parent. *)
+let text_sink ppf =
+  let indent d = String.make (2 * d) ' ' in
+  {
+    on_span =
+      (fun s ->
+        Format.fprintf ppf "%s[%s] %.3fms%a@." (indent s.depth) s.name
+          (Int64.to_float s.dur_ns /. 1e6)
+          pp_args s.args);
+    on_event =
+      (fun e ->
+        Format.fprintf ppf "%s* %s%a@." (indent e.ev_depth) e.ev_name pp_args
+          e.ev_args);
+    on_close = (fun () -> Format.pp_print_flush ppf ());
+  }
+
+(* One JSON object per line; timestamps in microseconds since the sink
+   was installed. *)
+let jsonl_sink write =
+  let t0 = now_ns () in
+  let line kind name ts_ns dur_ns depth args =
+    let b = Buffer.create 128 in
+    Buffer.add_string b "{\"type\": ";
+    json_escape b kind;
+    Buffer.add_string b ", \"name\": ";
+    json_escape b name;
+    Buffer.add_string b ", \"ts_us\": ";
+    json_float b (us_of_ns (Int64.sub ts_ns t0));
+    (match dur_ns with
+    | Some d ->
+      Buffer.add_string b ", \"dur_us\": ";
+      json_float b (us_of_ns d)
+    | None -> ());
+    Buffer.add_string b ", \"depth\": ";
+    Buffer.add_string b (string_of_int depth);
+    Buffer.add_string b ", \"args\": ";
+    json_args b args;
+    Buffer.add_string b "}\n";
+    write (Buffer.contents b)
+  in
+  {
+    on_span = (fun s -> line "span" s.name s.start_ns (Some s.dur_ns) s.depth s.args);
+    on_event = (fun e -> line "event" e.ev_name e.ev_ts_ns None e.ev_depth e.ev_args);
+    on_close = (fun () -> ());
+  }
+
+(* Chrome trace_event JSON (the "JSON array format"): complete events
+   [ph = "X"] for spans, instant events [ph = "i"] for events.  Load
+   the file in chrome://tracing or https://ui.perfetto.dev. *)
+let chrome_sink write =
+  let t0 = now_ns () in
+  let first = ref true in
+  let entry add_fields =
+    let b = Buffer.create 128 in
+    if !first then begin
+      Buffer.add_string b "[\n";
+      first := false
+    end
+    else Buffer.add_string b ",\n";
+    Buffer.add_char b '{';
+    add_fields b;
+    Buffer.add_char b '}';
+    write (Buffer.contents b)
+  in
+  let common b name ph ts_ns =
+    Buffer.add_string b "\"name\": ";
+    json_escape b name;
+    Buffer.add_string b ", \"ph\": ";
+    json_escape b ph;
+    Buffer.add_string b ", \"pid\": 1, \"tid\": 1, \"ts\": ";
+    json_float b (us_of_ns (Int64.sub ts_ns t0))
+  in
+  {
+    on_span =
+      (fun s ->
+        entry (fun b ->
+            common b s.name "X" s.start_ns;
+            Buffer.add_string b ", \"dur\": ";
+            json_float b (us_of_ns s.dur_ns);
+            Buffer.add_string b ", \"args\": ";
+            json_args b s.args));
+    on_event =
+      (fun e ->
+        entry (fun b ->
+            common b e.ev_name "i" e.ev_ts_ns;
+            Buffer.add_string b ", \"s\": \"t\", \"args\": ";
+            json_args b e.ev_args));
+    on_close =
+      (fun () -> if !first then write "[\n]\n" else write "\n]\n");
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics dump                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_keys tbl =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let counters () =
+  List.map
+    (fun k -> Hashtbl.find Counter.registry k)
+    (sorted_keys Counter.registry)
+
+let histograms () =
+  List.map
+    (fun k -> Hashtbl.find Histogram.registry k)
+    (sorted_keys Histogram.registry)
+
+let pp_metrics ppf () =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (c : Counter.t) ->
+      Format.fprintf ppf "counter %s %d@," c.Counter.c_name c.Counter.value)
+    (counters ());
+  List.iter
+    (fun (h : Histogram.t) ->
+      if Histogram.count h > 0 then
+        Format.fprintf ppf
+          "histogram %s count=%d p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus@,"
+          h.Histogram.h_name (Histogram.count h)
+          (Histogram.percentile h 0.50 /. 1e3)
+          (Histogram.percentile h 0.95 /. 1e3)
+          (Histogram.percentile h 0.99 /. 1e3)
+          (Int64.to_float (Histogram.max_value h) /. 1e3)
+      else
+        Format.fprintf ppf "histogram %s count=0@," h.Histogram.h_name)
+    (histograms ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,21 @@
+/* Monotonic clock for the observability subsystem.
+
+   CLOCK_MONOTONIC is immune to wall-clock adjustments (NTP steps,
+   manual changes), so span durations can never go negative.  One C
+   call, no dependencies. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value entangle_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL
+                         + (int64_t)ts.tv_nsec);
+}

@@ -172,8 +172,57 @@ let is_compiled = function
   | Compiled | Compiled_nocache -> true
   | Greedy_indexed | Fixed_indexed | Fixed_scan -> false
 
+(* ------------------------------------------------------------------ *)
+(* Probe-level observability                                          *)
+(* ------------------------------------------------------------------ *)
+
+let probe_hist =
+  Obs.Histogram.make ~help:"per-probe evaluator latency (ns)" "eval.probe_ns"
+
+let probe_count =
+  Obs.Counter.make ~help:"conjunctive-query probes issued" "eval.probes"
+
+let rels_label (q : Cq.t) =
+  String.concat ","
+    (List.sort_uniq String.compare
+       (List.map (fun (a : Cq.atom) -> a.Cq.rel) q.atoms))
+
+(* Every probe entry point funnels through here.  Disarmed, this is the
+   old code plus one branch; armed, the probe runs inside an
+   "eval.probe" span carrying the relation names, plan-cache outcome
+   and tuples-scanned delta, and feeds the probe-latency histogram.
+   [Database.count_probe] runs inside the measured section so emulated
+   round-trip latency shows up in the histogram, as it would over a
+   real connection. *)
+let probed db (q : Cq.t) ~kind f =
+  if not (Obs.enabled ()) then begin
+    Database.count_probe db;
+    f ()
+  end
+  else begin
+    let label = rels_label q in
+    if Obs.metrics_on () then begin
+      Obs.Counter.incr probe_count;
+      Obs.Counter.incr (Obs.Counter.labeled "eval.probes" label)
+    end;
+    let before = Database.snapshot_counters db in
+    let args () =
+      let d = Counters.diff ~before ~after:(Database.snapshot_counters db) in
+      [
+        ("rels", Obs.Str label);
+        ("atoms", Obs.Int (List.length q.atoms));
+        ("kind", Obs.Str kind);
+        ("plan_hit", Obs.Bool (d.plan_misses = 0));
+        ("tuples_scanned", Obs.Int d.tuples_scanned);
+      ]
+    in
+    Obs.with_span ~args ~hist:probe_hist "eval.probe" (fun () ->
+        Database.count_probe db;
+        f ())
+  end
+
 let solve ?(plan = Compiled) db (q : Cq.t) ~on_solution =
-  Database.count_probe db;
+  probed db q ~kind:"solve" @@ fun () ->
   match plan with
   | Compiled | Compiled_nocache ->
     let binding, run = prepare_compiled ~cache:(plan = Compiled) db q in
@@ -191,7 +240,7 @@ let find_first ?plan db q =
 let satisfiable ?(plan = Compiled) db q =
   if is_compiled plan then begin
     (* No valuation snapshot needed: stop at the first frame. *)
-    Database.count_probe db;
+    probed db q ~kind:"satisfiable" @@ fun () ->
     let _, run = prepare_compiled ~cache:(plan = Compiled) db q in
     let found = ref false in
     run (fun _ ->
@@ -217,7 +266,7 @@ let count ?(plan = Compiled) db q =
   if is_compiled plan then begin
     (* The compiled path counts frames directly — no per-solution
        valuation map is materialized. *)
-    Database.count_probe db;
+    probed db q ~kind:"count" @@ fun () ->
     let _, run = prepare_compiled ~cache:(plan = Compiled) db q in
     let n = ref 0 in
     run (fun _ ->
@@ -242,7 +291,7 @@ let distinct_projections ?(plan = Compiled) db q vars =
           (Printf.sprintf "Eval.distinct_projections: %s not in query" x))
     vars;
   if is_compiled plan then begin
-    Database.count_probe db;
+    probed db q ~kind:"distinct" @@ fun () ->
     let binding, run = prepare_compiled ~cache:(plan = Compiled) db q in
     (* Project straight out of the slot frame. *)
     let slot_of x =
@@ -273,7 +322,7 @@ let distinct_projections ?(plan = Compiled) db q vars =
 let check_ground db q =
   if not (Cq.is_ground q) then
     invalid_arg "Eval.check_ground: query has variables";
-  Database.count_probe db;
+  probed db q ~kind:"check_ground" @@ fun () ->
   List.for_all
     (fun (a : Cq.atom) ->
       let r = get_relation db a in

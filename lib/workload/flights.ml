@@ -8,6 +8,10 @@ let config =
     ~coord_attrs:[ 0; 1 ] (* dest, day *)
 
 let install_flights db ~rows =
+  Obs.with_span
+    ~args:(fun () -> [ ("rows", Obs.Int rows) ])
+    "workload.install_flights"
+  @@ fun () ->
   let r = Database.create_table db flights_schema in
   for i = 0 to rows - 1 do
     ignore
@@ -25,6 +29,10 @@ let install_flights db ~rows =
 let user i = Value.Str (Printf.sprintf "p%d" i)
 
 let install_complete_friends db ~users =
+  Obs.with_span
+    ~args:(fun () -> [ ("users", Obs.Int users) ])
+    "workload.install_friends"
+  @@ fun () ->
   let r = Database.create_table' db "Friends" [ "user"; "friend" ] in
   for i = 0 to users - 1 do
     for j = 0 to users - 1 do

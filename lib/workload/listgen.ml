@@ -12,6 +12,10 @@ let body_atom rng ~topics =
   }
 
 let queries ?(topics = 100) rng ~n =
+  Obs.with_span
+    ~args:(fun () -> [ ("n", Obs.Int n); ("topics", Obs.Int topics) ])
+    "workload.list_queries"
+  @@ fun () ->
   List.init n (fun i ->
       let post =
         if i < n - 1 then [ answer_atom (user (i + 1)) (Term.Var "y") ] else []

@@ -2,6 +2,14 @@ open Relational
 open Entangled
 
 let queries_of_graph ?(topics = 100) rng g =
+  Obs.with_span
+    ~args:(fun () ->
+      [
+        ("nodes", Obs.Int (Graphs.Digraph.node_count g));
+        ("topics", Obs.Int topics);
+      ])
+    "workload.network_queries"
+  @@ fun () ->
   List.init (Graphs.Digraph.node_count g) (fun i ->
       let post =
         List.mapi

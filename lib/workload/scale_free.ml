@@ -1,6 +1,11 @@
 let generate rng ~nodes ~edges_per_node =
   if nodes < 1 then invalid_arg "Scale_free.generate: nodes < 1";
   if edges_per_node < 1 then invalid_arg "Scale_free.generate: edges_per_node < 1";
+  Obs.with_span
+    ~args:(fun () ->
+      [ ("nodes", Obs.Int nodes); ("edges_per_node", Obs.Int edges_per_node) ])
+    "workload.scale_free"
+  @@ fun () ->
   let g = Graphs.Digraph.create nodes in
   (* Preferential attachment via a repeated-endpoints urn: every target
      endpoint appears once per received edge, plus once unconditionally

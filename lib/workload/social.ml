@@ -7,6 +7,10 @@ let posts_schema = Schema.make "Posts" [ "pid"; "topic" ]
 let topic i = Printf.sprintf "t%d" i
 
 let install_posts ?(rows = slashdot_row_count) ?(topics = 100) db =
+  Obs.with_span
+    ~args:(fun () -> [ ("rows", Obs.Int rows); ("topics", Obs.Int topics) ])
+    "workload.install_posts"
+  @@ fun () ->
   let r = Database.create_table db posts_schema in
   for pid = 0 to rows - 1 do
     ignore

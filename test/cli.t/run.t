@@ -98,9 +98,51 @@ sets book their tuples and later arrivals find them gone.
   pending (2): amy, ben
   bye: 2 queries coordinated, 2 still pending
 
+Tracing writes a Chrome trace_event JSON array: solver phases nest
+under the top-level solve span, and every database probe is a span.
+
+  $ entangle solve figure1.eq --trace trace.json > /dev/null
+  $ head -c 2 trace.json
+  [
+  $ tail -c 3 trace.json
+  
+  ]
+  $ grep -c '"name": "scc.solve"' trace.json
+  1
+  $ grep -c '"name": "eval.probe"' trace.json
+  2
+  $ grep -o '"ph": "[Xi]"' trace.json | sort | uniq -c | sed 's/^ *//'
+  10 "ph": "X"
+  3 "ph": "i"
+
+The JSONL format carries the same stream, one object per line, with
+spans distinguished from instant events.
+
+  $ entangle solve figure1.eq --trace trace.jsonl --trace-format jsonl > /dev/null
+  $ grep -c '"type": "span"' trace.jsonl
+  10
+  $ grep -c '"type": "event"' trace.jsonl
+  3
+  $ grep '"type": "event"' trace.jsonl | grep -o '"name": "[a-z.]*"'
+  "name": "scc.probed"
+  "name": "scc.probed"
+  "name": "scc.skipped"
+
+--metrics dumps the counter and histogram registry after the answer.
+
+  $ entangle solve figure1.eq --metrics | grep -v "^histogram"
+  coordinating set {qC, qG}
+  assignment: {q0.x -> Paris, q0.x1 -> 70, q0.x2 -> 7, q1.y1 -> 70, q1.y2 -> 7}
+  -- metrics --
+  counter eval.probes 2
+  counter eval.probes{F,H} 2
+  $ entangle solve figure1.eq --metrics | grep -c "^histogram eval.probe_ns count=2"
+  1
+
 The benchmark harness emits machine-readable series: every figure run
 lands in the JSON file under its name (timings vary, so only the keys
-and column headers are stable).
+and column headers are stable).  Each figure also carries a metrics
+block with probe-latency percentiles from the Obs histograms.
 
   $ entangle-bench --fast --figures-only --json bench.json > /dev/null
   $ grep -o '"fig[0-9]*"' bench.json
@@ -111,3 +153,5 @@ and column headers are stable).
   "fig8"
   $ grep -c '"columns"' bench.json
   5
+  $ grep -c '"probe_p99_us"' bench.json
+  4

@@ -13,4 +13,5 @@ let () =
       ("proposition-1", Test_prop1.suite);
       ("sat", Test_sat.suite);
       ("workload", Test_workload.suite);
+      ("obs", Test_obs.suite);
     ]
