@@ -12,7 +12,7 @@
 let usage =
   "main.exe [--fast] [--figure N]... [--ablation \
    evaluator|preprocess|selection|minimize|realistic|parallel|online|\
-   observability]... [--bechamel] [--figures-only] [--json FILE]"
+   observability|resilience]... [--bechamel] [--figures-only] [--json FILE]"
 
 let () =
   let figures = ref [] in
@@ -92,6 +92,9 @@ let () =
       | "observability" ->
         if fast then Ablations.observability ~rows:5_000 ~n:15 ~repeats:3 ()
         else Ablations.observability ()
+      | "resilience" ->
+        if fast then Ablations.resilience ~rows:5_000 ~n:15 ~repeats:3 ()
+        else Ablations.resilience ()
       | s -> Printf.eprintf "unknown ablation %s\n" s)
     (List.rev !ablations);
   if !bechamel_only then begin

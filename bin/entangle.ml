@@ -55,6 +55,11 @@ let algorithm_conv =
   in
   Arg.conv (parse, print)
 
+let print_degraded = function
+  | None -> ()
+  | Some d ->
+    Format.printf "DEGRADED: %a@." Resilient.pp_degradation d
+
 let print_solution db queries solution stats show_stats =
   match solution with
   | None ->
@@ -130,13 +135,100 @@ let solve_cmd =
             "Record latency histograms and counters during evaluation and \
              dump them (with p50/p95/p99) after the answer.")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for the whole solve; on expiry the solver \
+             returns the best (partial) answer found so far, marked \
+             $(b,DEGRADED).")
+  in
+  let max_probes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-probes" ] ~docv:"N"
+          ~doc:"Abort (degraded) after $(docv) database probe attempts.")
+  in
+  let max_tuples =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-tuples" ] ~docv:"N"
+          ~doc:"Abort (degraded) after scanning $(docv) tuples.")
+  in
+  let probe_timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "probe-timeout-ms" ] ~docv:"MS"
+          ~doc:"Per-probe time limit; slow probes fail (and may retry).")
+  in
+  let max_attempts =
+    Arg.(
+      value & opt int 4
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:
+            "Attempts per probe before a transient fault becomes fatal \
+             (exponential backoff between attempts).")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:
+            "Chaos mode: inject a transient probe failure with probability \
+             $(docv) per attempt (deterministic given $(b,--fault-seed)).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the deterministic fault injector.")
+  in
   (* The solver body computes an exit code instead of exiting so an
      installed trace sink always writes its trailer (a Chrome trace
      without the closing bracket is not valid JSON). *)
-  let run file algorithm first stats dot explain trace trace_format metrics =
+  let run file algorithm first stats dot explain trace trace_format metrics
+      deadline_ms max_probes max_tuples probe_timeout_ms max_attempts
+      fault_rate fault_seed =
     handle_syntax @@ fun () ->
     let db, input = load file in
     if metrics then Obs.set_metrics true;
+    let guard =
+      if
+        deadline_ms = None && max_probes = None && max_tuples = None
+        && probe_timeout_ms = None && fault_rate = 0.0
+      then None
+      else begin
+        let ns_of_ms ms = Int64.of_float (ms *. 1e6) in
+        let faults =
+          if fault_rate > 0.0 then
+            Some
+              {
+                Resilient.fault_defaults with
+                fault_seed;
+                transient_rate = fault_rate;
+              }
+          else None
+        in
+        Some
+          (Resilient.arm
+             {
+               Resilient.default_config with
+               max_probes;
+               max_tuples;
+               deadline_ns = Option.map ns_of_ms deadline_ms;
+               probe_timeout_ns = Option.map ns_of_ms probe_timeout_ms;
+               max_attempts;
+               faults;
+             })
+      end
+    in
+    Database.set_guard db guard;
+    Option.iter Resilient.start_solve guard;
     let solve_it () =
       if explain then
         match Coordination.Explain.trace db input with
@@ -179,6 +271,7 @@ let solve_cmd =
             write_dot outcome.queries outcome.graph in_solution;
             print_solution db outcome.queries outcome.solution outcome.stats
               stats;
+            print_degraded outcome.degraded;
             0)
         | Gupta -> (
           match Coordination.Gupta.solve db input with
@@ -190,6 +283,7 @@ let solve_cmd =
           | Ok outcome ->
             print_solution db outcome.queries outcome.solution outcome.stats
               stats;
+            print_degraded outcome.degraded;
             0)
         | Single_connected -> (
           match Coordination.Single_connected.solve db input with
@@ -202,6 +296,7 @@ let solve_cmd =
           | Ok outcome ->
             print_solution db outcome.queries outcome.solution outcome.stats
               stats;
+            print_degraded outcome.degraded;
             0)
         | Brute ->
           let queries = Entangled.Query.rename_set input in
@@ -211,13 +306,17 @@ let solve_cmd =
             1
           end
           else begin
-            (match Coordination.Brute.maximum db queries with
+            let outcome = Coordination.Brute.solve db queries in
+            (match outcome.solution with
             | None -> print_endline "no coordinating set exists"
             | Some s -> (
               Format.printf "%a@." (Entangled.Solution.pp queries) s;
               match Entangled.Solution.validate db queries s with
               | Ok () -> ()
               | Error m -> Format.printf "WARNING: validation failed: %s@." m));
+            if stats then
+              Format.printf "stats: %a@." Coordination.Stats.pp outcome.stats;
+            print_degraded outcome.degraded;
             0
           end
       end
@@ -236,6 +335,10 @@ let solve_cmd =
           ~finally:(fun () -> close_out oc)
           (fun () -> Obs.with_sink sink solve_it)
     in
+    (match guard with
+    | Some g when stats ->
+      Format.printf "guard: %a@." Resilient.pp_usage (Resilient.usage g)
+    | Some _ | None -> ());
     if metrics then Format.printf "-- metrics --@.%a@?" Obs.pp_metrics ();
     if code <> 0 then exit code
   in
@@ -244,7 +347,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Cmdliner.Term.(
       const run $ file $ algorithm $ first $ stats $ dot $ explain $ trace
-      $ trace_format $ metrics)
+      $ trace_format $ metrics $ deadline_ms $ max_probes $ max_tuples
+      $ probe_timeout_ms $ max_attempts $ fault_rate $ fault_seed)
 
 (* ------------------------------ check ----------------------------- *)
 

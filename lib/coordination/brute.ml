@@ -123,6 +123,53 @@ let maximum ?stats db queries =
   in
   loop (List.rev (subsets_by_size n))
 
+type outcome = {
+  solution : Solution.t option;
+  stats : Stats.t;
+  degraded : Resilient.degradation option;
+}
+
+let solve db queries =
+  let n = Array.length queries in
+  check_size n;
+  Obs.with_span ~args:(span_args n) "brute.solve" @@ fun () ->
+  let stats = Stats.create () in
+  with_stats (Some stats) db @@ fun () ->
+  let graph =
+    Obs.with_span "brute.graph" (fun () -> Coordination_graph.build queries)
+  in
+  Obs.with_span "brute.enumerate" @@ fun () ->
+  let total = (1 lsl n) - 1 in
+  let rec loop = function
+    | [] -> { solution = None; stats; degraded = None }
+    | mask :: rest -> (
+      let members = members_of_mask n mask in
+      match solve_subset db graph ~members with
+      | Some assignment ->
+        { solution = Some (Solution.make ~members ~assignment);
+          stats;
+          degraded = None }
+      | None -> loop rest
+      | exception Resilient.Abort reason ->
+        (* The exhaustive tail is exponential; list only the first few
+           unprobed subsets (largest first, like the search order). *)
+        let remaining = mask :: rest in
+        let unprobed =
+          List.filteri (fun i _ -> i < 8) remaining
+          |> List.map (members_of_mask n)
+        in
+        { solution = None;
+          stats;
+          degraded =
+            Some
+              (Resilient.degraded ~unprobed
+                 ~note:
+                   (Printf.sprintf "%d of %d subsets unprobed"
+                      (List.length remaining) total)
+                 reason) })
+  in
+  loop (List.rev (subsets_by_size n))
+
 let all_coordinating_subsets ?stats db queries =
   let n = Array.length queries in
   check_size n;

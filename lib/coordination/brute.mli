@@ -30,6 +30,20 @@ val maximum : ?stats:Stats.t -> Database.t -> Query.t array -> Solution.t option
     coordinates.  This is the (NP-hard) EntangledMax problem of
     Definition 5, solved exactly. *)
 
+type outcome = {
+  solution : Solution.t option;  (** maximum coordinating set found *)
+  stats : Stats.t;
+  degraded : Resilient.degradation option;
+      (** [Some _] when an armed guard aborted the enumeration; the
+          degradation lists (a prefix of) the subsets never probed *)
+}
+
+val solve : Database.t -> Query.t array -> outcome
+(** Like {!maximum} but resilient: an armed-guard abort
+    ({!Resilient.Abort}) is caught and reported as a degraded outcome
+    instead of escaping.  The legacy entry points above let the abort
+    propagate to the caller. *)
+
 val all_coordinating_subsets :
   ?stats:Stats.t -> Database.t -> Query.t array -> int list list
 (** Every coordinating subset (as sorted index lists), smallest first —

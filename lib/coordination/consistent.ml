@@ -4,12 +4,15 @@ type error =
   | Duplicate_user of Value.t
   | Missing_relation of string
   | Bad_k of Value.t * int
+  | Worker_crashed of string
 
 let pp_error ppf = function
   | Duplicate_user u -> Format.fprintf ppf "duplicate query for user %a" Value.pp u
   | Missing_relation r -> Format.fprintf ppf "relation %s missing" r
   | Bad_k (u, k) ->
     Format.fprintf ppf "user %a asks for %d friends (need k >= 1)" Value.pp u k
+  | Worker_crashed msg ->
+    Format.fprintf ppf "a parallel worker domain crashed: %s" msg
 
 type outcome = {
   config : Consistent_query.config;
@@ -21,6 +24,7 @@ type outcome = {
   choices : (Value.t * Value.t) list;
   partner_choices : (int * Value.t list list) list;
   stats : Stats.t;
+  degraded : Resilient.degradation option;
 }
 
 (* Per-partner coordination requirement, resolved against the batch. *)
@@ -245,26 +249,37 @@ let survivors p v =
 
 let finalize db p ~candidates ~best stats =
   let config = p.p_config and queries = p.p_queries in
-  (* Step 5: ground the winning set — one probe per member. *)
+  (* Step 5: ground the winning set — one probe per member.  A guard
+     abort mid-grounding keeps the member set (its survival was proved
+     by the pure cleaning phase) but leaves [choices] empty: the keys
+     were never fetched. *)
   let t_ground = Stats.now_ns () in
-  let chosen_value, members, choices =
+  let ground members v =
+    List.map
+      (fun i ->
+        let q = queries.(i) in
+        let cq = own_body_cq config q ~coord_value:(Some v) in
+        match Eval.find_first db cq with
+        | Some valuation ->
+          (q.Consistent_query.user, Eval.Binding.find "x" valuation)
+        | None ->
+          (* v came from V(q), so the body is satisfiable. *)
+          assert false)
+      members
+  in
+  let chosen_value, members, choices, degraded =
     match best with
-    | None -> (None, [], [])
-    | Some (v, members) ->
-      let choices =
-        List.map
-          (fun i ->
-            let q = queries.(i) in
-            let cq = own_body_cq config q ~coord_value:(Some v) in
-            match Eval.find_first db cq with
-            | Some valuation ->
-              (q.Consistent_query.user, Eval.Binding.find "x" valuation)
-            | None ->
-              (* v came from V(q), so the body is satisfiable. *)
-              assert false)
-          members
-      in
-      (Some v, members, choices)
+    | None -> (None, [], [], None)
+    | Some (v, members) -> (
+      match ground members v with
+      | choices -> (Some v, members, choices, None)
+      | exception Resilient.Abort reason ->
+        ( Some v,
+          members,
+          [],
+          Some
+            (Resilient.degraded ~unprobed:[ members ]
+               ~note:"winning set not grounded to keys" reason) ))
   in
   stats.Stats.ground_ns <-
     Int64.add stats.Stats.ground_ns (Int64.sub (Stats.now_ns ()) t_ground);
@@ -299,6 +314,31 @@ let finalize db p ~candidates ~best stats =
     choices;
     partner_choices;
     stats;
+    degraded;
+  }
+
+(* What a solve degrades to when the guard aborts inside [prepare]: no
+   option list was completed, so nothing downstream can run.  Shared
+   with {!Parallel.solve}. *)
+let degraded_outcome config input stats reason =
+  let queries = Array.of_list input in
+  let n = Array.length queries in
+  {
+    config;
+    queries;
+    options = Array.make n Tuple.Set.empty;
+    candidates = [];
+    chosen_value = None;
+    members = [];
+    choices = [];
+    partner_choices = [];
+    stats;
+    degraded =
+      Some
+        (Resilient.degraded
+           ~unprobed:(List.init n (fun i -> [ i ]))
+           ~note:"aborted while probing option lists and partner pools"
+           reason);
   }
 
 let solve ?(selection = `Largest) db config input =
@@ -317,6 +357,8 @@ let solve ?(selection = `Largest) db config input =
   in
   let t_graph = Stats.now_ns () in
   match Obs.with_span "consistent.prepare" (fun () -> prepare db config input) with
+  | exception Resilient.Abort reason ->
+    finish (degraded_outcome config input stats reason)
   | Error e ->
     stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
     Error e
@@ -360,6 +402,10 @@ let solve ?(selection = `Largest) db config input =
 let to_solution db outcome =
   match outcome.chosen_value with
   | None -> None
+  | Some _ when outcome.degraded <> None ->
+    (* A degraded outcome may know its members without their grounded
+       keys; there is no full Definition-1 assignment to build. *)
+    None
   | Some _ ->
     if not (Array.for_all Consistent_query.expressible outcome.queries) then
       None

@@ -32,6 +32,9 @@ type error =
   | Missing_relation of string
   | Bad_k of Value.t * int
       (** a [K_friends k] partner with [k < 1] *)
+  | Worker_crashed of string
+      (** a {!Parallel.solve} worker domain raised; the message is the
+          printed exception.  All sibling domains were still joined. *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -47,6 +50,10 @@ type outcome = {
   partner_choices : (int * Value.t list list) list;
       (** per member: for each partner slot, the user(s) chosen for it *)
   stats : Stats.t;
+  degraded : Resilient.degradation option;
+      (** [Some _] when an armed guard aborted the solve — during the
+          option-list/pool probes (everything empty) or during final
+          grounding ([members] survives, [choices] is empty) *)
 }
 
 val solve :
@@ -88,7 +95,18 @@ val finalize :
   Stats.t ->
   outcome
 (** Step 5: grounds the winning set (one probe per member) and packages
-    the outcome.  [candidates] is recorded verbatim. *)
+    the outcome.  [candidates] is recorded verbatim.  A guard abort
+    mid-grounding is caught and recorded as the outcome's
+    [degraded]. *)
+
+val degraded_outcome :
+  Consistent_query.config ->
+  Consistent_query.t list ->
+  Stats.t ->
+  Resilient.error ->
+  outcome
+(** The empty outcome a solve degrades to when {!prepare} is aborted by
+    an armed guard (shared with {!Parallel.solve}). *)
 
 val to_solution :
   Database.t ->

@@ -18,6 +18,7 @@ type outcome = {
   queries : Query.t array;
   solution : Solution.t option;
   stats : Stats.t;
+  degraded : Resilient.degradation option;
 }
 
 let solve db input =
@@ -36,7 +37,7 @@ let solve db input =
     result
   in
   if Array.length queries = 0 then
-    finish (Ok { queries; solution = None; stats })
+    finish (Ok { queries; solution = None; stats; degraded = None })
   else
   let graph, graph_ns =
     Stats.timed (fun () ->
@@ -56,20 +57,38 @@ let solve db input =
     match unified with
     | Error f -> finish (Error (Unification_failed f))
     | Ok subst -> (
+      (* The single combined probe is the only database work: an abort
+         here degrades to "nothing probed" rather than raising. *)
       let witness, ground_ns =
         Stats.timed (fun () ->
             Obs.with_span "gupta.ground" (fun () ->
-                Ground.solve db queries ~members subst))
+                match Ground.solve db queries ~members subst with
+                | w -> Ok w
+                | exception Resilient.Abort reason -> Error reason))
       in
       stats.ground_ns <- ground_ns;
       stats.candidates <- 1;
       match witness with
-      | None -> finish (Ok { queries; solution = None; stats })
-      | Some assignment ->
+      | Error reason ->
+        finish
+          (Ok
+             {
+               queries;
+               solution = None;
+               stats;
+               degraded =
+                 Some
+                   (Resilient.degraded ~unprobed:[ members ]
+                      ~note:"combined query unprobed" reason);
+             })
+      | Ok None ->
+        finish (Ok { queries; solution = None; stats; degraded = None })
+      | Ok (Some assignment) ->
         finish
           (Ok
              {
                queries;
                solution = Some (Solution.make ~members ~assignment);
                stats;
+               degraded = None;
              })))

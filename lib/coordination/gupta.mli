@@ -20,6 +20,9 @@ type outcome = {
       (** the full set with a witness assignment, or [None] when the
           combined query is unsatisfiable *)
   stats : Stats.t;
+  degraded : Resilient.degradation option;
+      (** [Some _] when an armed guard aborted the single combined
+          probe: the answer is unknown, not "no coordinating set" *)
 }
 
 val solve : Database.t -> Query.t list -> (outcome, error) result

@@ -8,6 +8,7 @@ type t = {
   consume : bool;
   mutable pool : Query.t list;  (* reversed submission order *)
   mutable satisfied : int;
+  mutable last_degradation : Resilient.degradation option;
   stats : Stats.t;
 }
 
@@ -29,6 +30,7 @@ let create ?(selection = Scc_algo.Largest) ?(eager = true) ?(consume = false) db
     consume;
     pool = [];
     satisfied = 0;
+    last_degradation = None;
     stats = Stats.create ();
   }
 
@@ -39,6 +41,8 @@ let pending_count engine = List.length engine.pool
 let total_coordinated engine = engine.satisfied
 
 let stats engine = engine.stats
+
+let last_degradation engine = engine.last_degradation
 
 let accumulate (into : Stats.t) (from : Stats.t) =
   into.db_probes <- into.db_probes + from.db_probes;
@@ -83,24 +87,30 @@ let components pool_array =
   List.rev !comps
 
 (* Book the grounded body tuples of a fired set: each tuple is one unit
-   of inventory. *)
+   of inventory.  Two-phase for exception safety: every deletion is
+   resolved (relation looked up, variables grounded) before the first
+   tuple is removed, so a failure — an unbound variable, a missing
+   binding — leaves the store untouched rather than half-consumed. *)
 let consume_inventory db (queries : Query.t array) (solution : Solution.t) =
-  List.iter
-    (fun m ->
-      List.iter
-        (fun (a : Cq.atom) ->
-          let tuple =
-            Array.map
-              (function
-                | Term.Const v -> v
-                | Term.Var x -> Eval.Binding.find x solution.assignment)
-              a.args
-          in
-          match Database.relation_opt db a.rel with
-          | Some r -> ignore (Relation.delete r tuple)
-          | None -> ())
-        queries.(m).Query.body.Cq.atoms)
-    solution.members
+  let deletions =
+    List.concat_map
+      (fun m ->
+        List.filter_map
+          (fun (a : Cq.atom) ->
+            let tuple =
+              Array.map
+                (function
+                  | Term.Const v -> v
+                  | Term.Var x -> Eval.Binding.find x solution.assignment)
+                a.args
+            in
+            match Database.relation_opt db a.rel with
+            | Some r -> Some (r, tuple)
+            | None -> None)
+          queries.(m).Query.body.Cq.atoms)
+      solution.members
+  in
+  List.iter (fun (r, tuple) -> ignore (Relation.delete r tuple)) deletions
 
 (* Evaluate one component (pool positions); on success remove members
    from the pool and report them. *)
@@ -110,11 +120,16 @@ let evaluate engine pool_array positions =
   | Error (Scc_algo.Not_safe ws) -> Error ws
   | Ok outcome -> (
     accumulate engine.stats outcome.stats;
+    (if outcome.degraded <> None then
+       engine.last_degradation <- outcome.degraded);
     match outcome.solution with
     | None -> Ok None
     | Some solution ->
-      if engine.consume then
-        consume_inventory engine.db outcome.queries solution;
+      (* Commit the pool/satisfied bookkeeping BEFORE consuming
+         inventory: if the deletion pass failed after the pool shrank,
+         the engine would stay coherent (the set genuinely fired); the
+         reverse order could delete tuples for a set never recorded as
+         satisfied. *)
       (* Map sub-list member indexes back to pool positions. *)
       let position_of = Array.of_list positions in
       let member_positions =
@@ -132,6 +147,8 @@ let evaluate engine pool_array positions =
       in
       engine.pool <- List.rev keep;
       engine.satisfied <- engine.satisfied + List.length satisfied_queries;
+      if engine.consume then
+        consume_inventory engine.db outcome.queries solution;
       Ok (Some { queries = satisfied_queries; assignment = solution.assignment }))
 
 let submit engine query =
@@ -143,6 +160,7 @@ let submit engine query =
       ])
     "online.submit"
   @@ fun () ->
+  engine.last_degradation <- None;
   engine.pool <- query :: engine.pool;
   if not engine.eager then Pending
   else begin
@@ -172,6 +190,7 @@ let flush engine =
       ])
     "online.flush"
   @@ fun () ->
+  engine.last_degradation <- None;
   let results = ref [] in
   let progress = ref true in
   (* Re-evaluate until a fixpoint: removing one satisfied set can only

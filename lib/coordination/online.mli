@@ -65,3 +65,10 @@ val total_coordinated : t -> int
 
 val stats : t -> Stats.t
 (** Cumulative solver statistics across all evaluations. *)
+
+val last_degradation : t -> Resilient.degradation option
+(** [Some _] when the most recent {!submit} or {!flush} hit an
+    armed-guard limit mid-evaluation (see {!Resilient}): the underlying
+    solve returned a degraded outcome, so some component may hold a
+    coordinating set that was never probed.  Cleared at the start of the
+    next [submit]/[flush]. *)

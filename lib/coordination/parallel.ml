@@ -33,6 +33,11 @@ let solve ?domains db config input =
     Obs.with_span "parallel.prepare" (fun () ->
         Consistent.prepare db config input)
   with
+  | exception Resilient.Abort reason ->
+    stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
+    Stats.add_counters stats
+      (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
+    Ok (Consistent.degraded_outcome config input stats reason)
   | Error e -> Error e
   | Ok p ->
     stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
@@ -54,7 +59,11 @@ let solve ?domains db config input =
     in
     let t_loop = Stats.now_ns () in
     (* The span lives on the parent domain only: Obs state is not
-       domain-safe, so spawned workers run uninstrumented. *)
+       domain-safe, so spawned workers run uninstrumented.  Every
+       spawned domain is joined even when the parent's own chunk — or a
+       sibling — raises: an unjoined domain would leak (or deadlock at
+       exit), and an exception in [mine] before the joins used to do
+       exactly that. *)
     let results =
       Obs.with_span
         ~args:(fun () ->
@@ -65,11 +74,32 @@ let solve ?domains db config input =
           | [] -> []
           | first :: rest ->
             let handles = List.map (fun c -> Domain.spawn (work c)) rest in
-            let mine = work first () in
-            mine :: List.map Domain.join handles)
+            let mine = try Ok (work first ()) with e -> Error e in
+            let joined =
+              List.map
+                (fun h -> try Ok (Domain.join h) with e -> Error e)
+                handles
+            in
+            mine :: joined)
     in
     stats.unify_ns <- Int64.sub (Stats.now_ns ()) t_loop;
-    let flat = List.concat results in
+    let first_error =
+      List.find_map (function Error e -> Some e | Ok _ -> None) results
+    in
+    match first_error with
+    | Some (Resilient.Abort reason) ->
+      (* Cannot happen today — the per-value kernel is pure — but a
+         future probing kernel degrades instead of crashing. *)
+      stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
+      Stats.add_counters stats
+        (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
+      Ok (Consistent.degraded_outcome config input stats reason)
+    | Some e -> Error (Consistent.Worker_crashed (Printexc.to_string e))
+    | None ->
+    let flat =
+      List.concat
+        (List.map (function Ok r -> r | Error _ -> assert false) results)
+    in
     let candidates =
       List.map (fun (v, members, _) -> (v, List.length members)) flat
     in

@@ -19,6 +19,7 @@ type outcome = {
   candidates : candidate list;
   solution : Solution.t option;
   stats : Stats.t;
+  degraded : Resilient.degradation option;
 }
 
 type event =
@@ -124,7 +125,16 @@ let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
     in
     stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
     if graph_only then
-      finish (Ok { queries; graph; candidates = []; solution = None; stats })
+      finish
+        (Ok
+           {
+             queries;
+             graph;
+             candidates = [];
+             solution = None;
+             stats;
+             degraded = None;
+           })
     else begin
     (* Phase 2: process components in reverse topological order.  Our SCC
        ids are numbered sinks-first, so ascending id order is exactly
@@ -132,9 +142,13 @@ let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
     let failed = Array.make (max 1 scc.count) false in
     let covered = Array.make (max 1 scc.count) [] in
     let candidates = ref [] in
+    let degraded = ref None in
     let exception Done in
     (try
     for c = 0 to scc.count - 1 do
+    (* A guard abort mid-component keeps every candidate already probed:
+       components from [c] on are reported unprobed, the prefix stands. *)
+    try
       let successors = Graphs.Digraph.successors condensation c in
       if List.exists (fun s -> failed.(s)) successors then begin
         failed.(c) <- true;
@@ -200,6 +214,16 @@ let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
             | First_found -> raise Done
             | Largest | Preferred _ -> ()))
       end
+    with Resilient.Abort reason ->
+      let unprobed = List.init (scc.count - c) (fun i -> scc.members.(c + i)) in
+      degraded :=
+        Some
+          (Resilient.degraded ~unprobed
+             ~note:
+               (Printf.sprintf "%d of %d components unprobed"
+                  (List.length unprobed) scc.count)
+             reason);
+      raise Done
     done
     with Done -> ());
     let candidates = List.rev !candidates in
@@ -208,6 +232,7 @@ let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
         (fun c -> Solution.make ~members:c.covered ~assignment:c.assignment)
         (select selection queries candidates)
     in
-    finish (Ok { queries; graph; candidates; solution; stats })
+    finish
+      (Ok { queries; graph; candidates; solution; stats; degraded = !degraded })
     end
   end

@@ -39,6 +39,12 @@ type outcome = {
   candidates : candidate list;   (** all successful components, discovery order *)
   solution : Solution.t option;
   stats : Stats.t;
+  degraded : Resilient.degradation option;
+      (** [Some _] when an armed {!Resilient.t} guard cut the solve
+          short: [candidates] (and [solution]) hold everything probed
+          before the abort — a prefix of the fault-free run's discovery
+          order — and the degradation lists the components that went
+          unprobed.  [None]: the solve ran to completion. *)
 }
 
 (** Execution events, emitted in order on the {!Obs} stream as

@@ -58,6 +58,7 @@ type outcome = {
   queries : Query.t array;
   solution : Solution.t option;
   stats : Stats.t;
+  degraded : Resilient.degradation option;
 }
 
 let solve db input =
@@ -127,25 +128,39 @@ let solve db input =
               | Some subst' -> descend (q :: path) subst' d)
             targets
     in
+    let degraded = ref None in
+    let exception Stop_all of Resilient.error * int in
     Obs.with_span
       ~args:(fun () -> [ ("candidates", Obs.Int stats.candidates) ])
       "single_connected.chains"
       (fun () ->
-        for root = 0 to n - 1 do
-          (* A covered root's chain is a subchain of a found solution;
-             skip. *)
-          let covered =
-            match !best with
-            | Some (_, ms, _) -> List.mem root ms
-            | None -> false
-          in
-          if not covered then
-            try descend [] Subst.empty root
-            with Found (members, assignment) -> consider members assignment
-        done);
+        try
+          for root = 0 to n - 1 do
+            (* A covered root's chain is a subchain of a found solution;
+               skip. *)
+            let covered =
+              match !best with
+              | Some (_, ms, _) -> List.mem root ms
+              | None -> false
+            in
+            if not covered then
+              try descend [] Subst.empty root with
+              | Found (members, assignment) -> consider members assignment
+              | Resilient.Abort reason -> raise (Stop_all (reason, root))
+          done
+        with Stop_all (reason, root) ->
+          (* Keep the best closure found from earlier roots; the roots
+             from the aborted one on were never (fully) descended. *)
+          let unprobed = List.init (n - root) (fun i -> [ root + i ]) in
+          degraded :=
+            Some
+              (Resilient.degraded ~unprobed
+                 ~note:
+                   (Printf.sprintf "%d of %d roots unprobed" (n - root) n)
+                 reason));
     let solution =
       Option.map
         (fun (_, members, assignment) -> Solution.make ~members ~assignment)
         !best
     in
-    finish (Ok { queries; solution; stats })
+    finish (Ok { queries; solution; stats; degraded = !degraded })

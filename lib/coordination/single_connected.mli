@@ -34,6 +34,10 @@ type outcome = {
   queries : Query.t array;
   solution : Solution.t option;  (** largest closure found *)
   stats : Stats.t;
+  degraded : Resilient.degradation option;
+      (** [Some _] when an armed guard aborted the root loop: [solution]
+          is the best closure among the roots probed before the abort,
+          and the degradation lists the roots never descended from *)
 }
 
 val solve : Database.t -> Query.t list -> (outcome, error) result

@@ -3,6 +3,7 @@ type t = {
   counters : Counters.t;
   plan_cache : (string, Plan.t) Hashtbl.t;
   mutable probe_latency : float;  (* seconds added per probe *)
+  mutable guard : Resilient.t option;  (* resilience middleware, if armed *)
 }
 
 let create () =
@@ -11,6 +12,7 @@ let create () =
     counters = Counters.create ();
     plan_cache = Hashtbl.create 64;
     probe_latency = 0.0;
+    guard = None;
   }
 
 (* Plans bake in join orders chosen against the schema (and, for
@@ -110,6 +112,10 @@ let set_probe_latency db seconds =
   db.probe_latency <- seconds
 
 let probe_latency db = db.probe_latency
+
+let set_guard db g = db.guard <- g
+
+let guard db = db.guard
 
 let probes db = db.counters.probes
 

@@ -84,6 +84,20 @@ val set_probe_latency : t -> float -> unit
 
 val probe_latency : t -> float
 
+(** {2 Resilience}
+
+    An armed {!Resilient.t} guard turns every evaluator probe into a
+    budgeted, fault-injectable, retried operation (see {!Resilient}).
+    With no guard armed — the default — the middleware costs one field
+    load and a branch per probe. *)
+
+val set_guard : t -> Resilient.t option -> unit
+(** Arm (or disarm, with [None]) the resilience middleware on this
+    instance.  Callers own the per-solve lifecycle: run
+    {!Resilient.start_solve} before handing the database to a solver. *)
+
+val guard : t -> Resilient.t option
+
 val probes : t -> int
 (** Number of probes since creation or the last reset. *)
 

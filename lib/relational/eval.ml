@@ -187,18 +187,33 @@ let rels_label (q : Cq.t) =
     (List.sort_uniq String.compare
        (List.map (fun (a : Cq.atom) -> a.Cq.rel) q.atoms))
 
+(* Resilience middleware: with a guard armed on the database, the probe
+   body runs under budget checks, fault injection and retries
+   ({!Resilient.probe}); transient faults strike before the body
+   executes, so a retried probe never re-delivers solver callbacks.
+   Disarmed, this is one field load and a branch. *)
+let guarded db f =
+  match Database.guard db with
+  | None -> f ()
+  | Some g ->
+    let counters = Database.counters db in
+    Resilient.probe g
+      ~tuples_scanned:(fun () -> counters.Counters.tuples_scanned)
+      f
+
 (* Every probe entry point funnels through here.  Disarmed, this is the
-   old code plus one branch; armed, the probe runs inside an
+   old code plus two branches; armed, the probe runs inside an
    "eval.probe" span carrying the relation names, plan-cache outcome
    and tuples-scanned delta, and feeds the probe-latency histogram.
    [Database.count_probe] runs inside the measured section so emulated
    round-trip latency shows up in the histogram, as it would over a
-   real connection. *)
+   real connection.  The Obs span sits outside the guard so retried
+   attempts land inside one probe span. *)
 let probed db (q : Cq.t) ~kind f =
-  if not (Obs.enabled ()) then begin
-    Database.count_probe db;
-    f ()
-  end
+  if not (Obs.enabled ()) then
+    guarded db (fun () ->
+        Database.count_probe db;
+        f ())
   else begin
     let label = rels_label q in
     if Obs.metrics_on () then begin
@@ -217,8 +232,9 @@ let probed db (q : Cq.t) ~kind f =
       ]
     in
     Obs.with_span ~args ~hist:probe_hist "eval.probe" (fun () ->
-        Database.count_probe db;
-        f ())
+        guarded db (fun () ->
+            Database.count_probe db;
+            f ()))
   end
 
 let solve ?(plan = Compiled) db (q : Cq.t) ~on_solution =

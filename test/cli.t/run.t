@@ -139,6 +139,30 @@ spans distinguished from instant events.
   $ entangle solve figure1.eq --metrics | grep -c "^histogram eval.probe_ns count=2"
   1
 
+Budgets degrade gracefully: with one probe allowed, the first component
+still fires and the rest are reported unprobed instead of discarded.
+
+  $ entangle solve figure1.eq --max-probes 1
+  coordinating set {qC, qG}
+  assignment: {q0.x -> Paris, q0.x1 -> 70, q0.x2 -> 7, q1.y1 -> 70, q1.y2 -> 7}
+  DEGRADED: probe budget exhausted; 2 work items unprobed (2 of 3 components unprobed)
+
+Chaos mode is deterministic: a seeded fault injector with enough retry
+budget produces exactly the fault-free answer (and the same probe
+stats), while the guard line accounts for the injected faults.
+
+  $ entangle solve figure1.eq --fault-rate 0.5 --fault-seed 2 --max-attempts 50 --stats | grep -v "^stats"
+  coordinating set {qC, qG}
+  assignment: {q0.x -> Paris, q0.x1 -> 70, q0.x2 -> 7, q1.y1 -> 70, q1.y2 -> 7}
+  guard: 4 attempts, 2 ok, 2 retries, faults 2 transient / 0 permanent / 0 timeout, backoff 3.889 ms
+
+With no retry budget the same faults become fatal — but still typed and
+degraded, never a crash.
+
+  $ entangle solve figure1.eq --fault-rate 0.5 --fault-seed 2 --max-attempts 1
+  no coordinating set exists
+  DEGRADED: probe failed after 1 attempt (retries exhausted); 3 work items unprobed (3 of 3 components unprobed)
+
 The benchmark harness emits machine-readable series: every figure run
 lands in the JSON file under its name (timings vary, so only the keys
 and column headers are stable).  Each figure also carries a metrics

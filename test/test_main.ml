@@ -14,4 +14,5 @@ let () =
       ("sat", Test_sat.suite);
       ("workload", Test_workload.suite);
       ("obs", Test_obs.suite);
+      ("resilient", Test_resilient.suite);
     ]
