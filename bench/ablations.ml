@@ -477,6 +477,82 @@ let online ?(rows = 20_000) ?(n = 60) () =
     n online_ms !fired
     (Coordination.Online.pending_count engine)
 
+(* Pool-growth scaling: a stream of mutually independent queries — each
+   one's postcondition names a partner that never arrives, so nothing
+   ever fires and the pool only grows.  Per-submit latency then isolates
+   the engine's own maintenance cost: the full-rebuild mode re-derives
+   the coordination graph and components of the whole pool on every
+   submission (superlinear total), while the incremental mode probes its
+   persistent atom index and touches one union-find entry (flat). *)
+let online_scaling ?(rows = 2_000) ?(pools = [ 1_000; 10_000 ]) () =
+  Printf.printf
+    "\n== Ablation: online engine scaling (full rebuild vs incremental) ==\n";
+  Printf.printf
+    "(independent queries streamed eagerly: nothing fires, the pool only \
+     grows; per-submit latency isolates engine maintenance)\n";
+  Series.start "ablation_online_scaling"
+    [ "mode"; "pool"; "p50_us"; "p95_us"; "total_ms" ];
+  let topics = 50 in
+  let query i =
+    let const fmt j = Term.Const (Value.Str (Printf.sprintf fmt j)) in
+    Entangled.Query.make
+      ~name:(Printf.sprintf "s%d" i)
+      ~post:[ { Cq.rel = "R"; args = [| const "p%d" i; Term.Var "y" |] } ]
+      ~head:[ { Cq.rel = "R"; args = [| const "u%d" i; Term.Var "x" |] } ]
+      [
+        {
+          Cq.rel = "Posts";
+          args =
+            [|
+              Term.Var "x";
+              Term.Const (Value.Str (Workload.Social.topic (i mod topics)));
+            |];
+        };
+      ]
+  in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int (n - 1)))))
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (label, mode) ->
+          let db = Database.create () in
+          ignore (Workload.Social.install_posts ~rows ~topics db);
+          let engine = Coordination.Online.create ~mode db in
+          let lat = Array.make (max n 1) 0.0 in
+          let t0 = Coordination.Stats.now_ns () in
+          for i = 0 to n - 1 do
+            let s0 = Coordination.Stats.now_ns () in
+            ignore (Coordination.Online.submit engine (query i));
+            lat.(i) <-
+              Int64.to_float (Int64.sub (Coordination.Stats.now_ns ()) s0)
+              /. 1e3
+          done;
+          let total = ms (Int64.sub (Coordination.Stats.now_ns ()) t0) in
+          Array.sort compare lat;
+          let p50 = percentile lat 0.5 and p95 = percentile lat 0.95 in
+          Printf.printf
+            "  %-13s pool %6d:  p50 %8.2f us   p95 %8.2f us   total \
+             %10.3f ms   (%d pending)\n"
+            label n p50 p95 total
+            (Coordination.Online.pending_count engine);
+          Series.row "ablation_online_scaling"
+            [
+              label;
+              string_of_int n;
+              Printf.sprintf "%.2f" p50;
+              Printf.sprintf "%.2f" p95;
+              Printf.sprintf "%.3f" total;
+            ])
+        [
+          ("full-rebuild", Coordination.Online.Full_rebuild);
+          ("incremental", Coordination.Online.Incremental);
+        ])
+    pools
+
 let run_all ?(fast = false) () =
   if fast then begin
     evaluator ~rows:1_000 ();
@@ -487,6 +563,7 @@ let run_all ?(fast = false) () =
     realistic ~rows:100 ~users:20 ();
     parallel ~rows:150 ~users:40 ();
     online ~rows:5_000 ~n:20 ();
+    online_scaling ~rows:1_000 ~pools:[ 200; 1_000 ] ();
     observability ~rows:5_000 ~n:15 ~repeats:3 ();
     resilience ~rows:5_000 ~n:15 ~repeats:3 ()
   end
@@ -499,6 +576,7 @@ let run_all ?(fast = false) () =
     realistic ();
     parallel ();
     online ();
+    online_scaling ();
     observability ();
     resilience ()
   end

@@ -12,7 +12,8 @@
 let usage =
   "main.exe [--fast] [--figure N]... [--ablation \
    evaluator|preprocess|selection|minimize|realistic|parallel|online|\
-   observability|resilience]... [--bechamel] [--figures-only] [--json FILE]"
+   online-scaling|observability|resilience]... [--bechamel] [--figures-only] \
+   [--json FILE]"
 
 let () =
   let figures = ref [] in
@@ -89,6 +90,10 @@ let () =
       | "online" ->
         if fast then Ablations.online ~rows:5_000 ~n:20 ()
         else Ablations.online ()
+      | "online-scaling" ->
+        if fast then
+          Ablations.online_scaling ~rows:1_000 ~pools:[ 200; 1_000 ] ()
+        else Ablations.online_scaling ()
       | "observability" ->
         if fast then Ablations.observability ~rows:5_000 ~n:15 ~repeats:3 ()
         else Ablations.observability ()

@@ -471,9 +471,26 @@ let repl_cmd =
       & info [ "consume" ]
           ~doc:"Coordinated sets book their tuples: matched rows are deleted.")
   in
-  let run consume =
+  let mode =
+    let modes =
+      [
+        ("incremental", Coordination.Online.Incremental);
+        ("full-rebuild", Coordination.Online.Full_rebuild);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum modes) Coordination.Online.Incremental
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Online engine mode: $(b,incremental) (persistent atom index, \
+             union-find components, dirty tracking — the default) or \
+             $(b,full-rebuild) (re-derive the coordination graph on every \
+             evaluation; reference implementation).")
+  in
+  let run consume mode =
     let db = Database.create () in
-    let engine = Coordination.Online.create ~consume db in
+    let engine = Coordination.Online.create ~consume ~mode db in
     let report_fired (c : Coordination.Online.coordinated) =
       Printf.printf "coordinated: {%s}\n"
         (String.concat ", "
@@ -559,7 +576,7 @@ let repl_cmd =
     "Interactive coordination server: facts and queries stream in, \
      coordinating sets fire as soon as they exist."
   in
-  Cmd.v (Cmd.info "repl" ~doc) Cmdliner.Term.(const run $ consume)
+  Cmd.v (Cmd.info "repl" ~doc) Cmdliner.Term.(const run $ consume $ mode)
 
 let () =
   let doc = "data-driven coordination with entangled queries" in

@@ -1,16 +1,7 @@
 open Relational
 open Entangled
 
-type t = {
-  db : Database.t;
-  selection : Scc_algo.selection;
-  eager : bool;
-  consume : bool;
-  mutable pool : Query.t list;  (* reversed submission order *)
-  mutable satisfied : int;
-  mutable last_degradation : Resilient.degradation option;
-  stats : Stats.t;
-}
+type mode = Full_rebuild | Incremental
 
 type coordinated = {
   queries : Query.t list;
@@ -22,21 +13,81 @@ type submission =
   | Pending
   | Rejected_unsafe of (int * int) list
 
-let create ?(selection = Scc_algo.Largest) ?(eager = true) ?(consume = false) db =
+type inventory_conflict = {
+  double_spent : (string * Tuple.t) list;
+  missing : (string * Tuple.t) list;
+}
+
+(* One pooled query.  [neighbours] stores the undirected coordination
+   adjacency discovered when the entry (or a later partner) arrived, so
+   a dissolved component can be re-linked locally without rebuilding any
+   graph.  Ids are submission order and never reused; an id is live iff
+   it is present in [entries]. *)
+type entry = {
+  id : int;
+  query : Query.t;
+  mutable neighbours : int list;
+}
+
+type t = {
+  db : Database.t;
+  selection : Scc_algo.selection;
+  eager : bool;
+  consume : bool;
+  mode : mode;
+  entries : (int, entry) Hashtbl.t;  (* the live pool, keyed by id *)
+  mutable next_id : int;
+  (* Incremental-mode state.  The two atom indexes cover the post/head
+     atoms of every live entry (payload = owner id): a new arrival
+     probes its posts against pooled heads and its heads against pooled
+     posts to discover coordination edges without re-unifying against
+     the whole pool.  [uf]/[comp_members] maintain the weakly-connected
+     component partition; [dirty] the set of live ids whose component
+     must be re-evaluated (a component is dirty iff any member is). *)
+  posts_index : int Coordination_graph.Atom_index.t;
+  heads_index : int Coordination_graph.Atom_index.t;
+  uf : Graphs.Union_find.t;
+  comp_members : (int, int list) Hashtbl.t;  (* uf root -> live member ids *)
+  dirty : (int, unit) Hashtbl.t;
+  mutable db_version : int;
+  mutable satisfied : int;
+  mutable last_degradation : Resilient.degradation option;
+  mutable last_conflict : inventory_conflict option;
+  stats : Stats.t;
+}
+
+let create ?(selection = Scc_algo.Largest) ?(eager = true) ?(consume = false)
+    ?(mode = Incremental) db =
   {
     db;
     selection;
     eager;
     consume;
-    pool = [];
+    mode;
+    entries = Hashtbl.create 64;
+    next_id = 0;
+    posts_index = Coordination_graph.Atom_index.create ();
+    heads_index = Coordination_graph.Atom_index.create ();
+    uf = Graphs.Union_find.create ();
+    comp_members = Hashtbl.create 64;
+    dirty = Hashtbl.create 64;
+    db_version = Database.data_version db;
     satisfied = 0;
     last_degradation = None;
+    last_conflict = None;
     stats = Stats.create ();
   }
 
-let pending engine = List.rev engine.pool
+let mode engine = engine.mode
 
-let pending_count engine = List.length engine.pool
+(* Live entries in submission (= id) order. *)
+let live_entries engine =
+  Hashtbl.fold (fun _ e acc -> e :: acc) engine.entries []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+let pending engine = List.map (fun e -> e.query) (live_entries engine)
+
+let pending_count engine = Hashtbl.length engine.entries
 
 let total_coordinated engine = engine.satisfied
 
@@ -44,54 +95,236 @@ let stats engine = engine.stats
 
 let last_degradation engine = engine.last_degradation
 
-let accumulate (into : Stats.t) (from : Stats.t) =
-  into.db_probes <- into.db_probes + from.db_probes;
-  into.graph_ns <- Int64.add into.graph_ns from.graph_ns;
-  into.unify_ns <- Int64.add into.unify_ns from.unify_ns;
-  into.ground_ns <- Int64.add into.ground_ns from.ground_ns;
-  into.total_ns <- Int64.add into.total_ns from.total_ns;
-  into.candidates <- into.candidates + from.candidates;
-  into.cleaning_rounds <- into.cleaning_rounds + from.cleaning_rounds;
-  into.plan_hits <- into.plan_hits + from.plan_hits;
-  into.plan_misses <- into.plan_misses + from.plan_misses;
-  into.tuples_scanned <- into.tuples_scanned + from.tuples_scanned
+let last_inventory_conflict engine = engine.last_conflict
 
-(* Weakly connected components of the pool's coordination graph, as
-   lists of pool positions (ascending). *)
-let components pool_array =
-  let renamed = Query.rename_set (Array.to_list pool_array) in
-  let graph = Coordination_graph.build renamed in
-  let n = Array.length pool_array in
+let mark_dirty engine id = Hashtbl.replace engine.dirty id ()
+
+(* If the database moved since the engine last looked (external inserts
+   or deletes — e.g. repl [fact] statements), every cached "this
+   component cannot fire" verdict is stale: mark the whole pool dirty.
+   The counter is process-wide, so unrelated databases can trigger
+   spurious refreshes — those only cost re-evaluation, never
+   correctness. *)
+let refresh_db_version engine =
+  match engine.mode with
+  | Full_rebuild -> ()
+  | Incremental ->
+    let v = Database.data_version engine.db in
+    if v <> engine.db_version then begin
+      engine.db_version <- v;
+      Hashtbl.iter (fun id _ -> mark_dirty engine id) engine.entries
+    end
+
+(* Absorb the engine's own inventory deletions at the end of an
+   operation: conjunctive queries are monotone, so deleting tuples can
+   only shrink answer sets — a component that just evaluated to
+   "cannot fire" still cannot, and need not be re-dirtied. *)
+let sync_db_version engine =
+  if engine.mode = Incremental then
+    engine.db_version <- Database.data_version engine.db
+
+let index_entry engine e =
+  List.iter
+    (fun a -> Coordination_graph.Atom_index.add engine.posts_index a e.id)
+    e.query.Query.post;
+  List.iter
+    (fun a -> Coordination_graph.Atom_index.add engine.heads_index a e.id)
+    e.query.Query.head
+
+let unindex_entry engine e =
+  let is_me id = id = e.id in
+  List.iter
+    (fun a -> Coordination_graph.Atom_index.remove engine.posts_index a is_me)
+    e.query.Query.post;
+  List.iter
+    (fun a -> Coordination_graph.Atom_index.remove engine.heads_index a is_me)
+    e.query.Query.head
+
+(* Coordination partners of [q] within the current pool: an edge exists
+   when one side's postcondition is {!Coordination_graph.compatible}
+   with the other side's head.  Compatibility only inspects relation
+   symbols and constants, so probing the ORIGINAL (unrenamed) atoms
+   finds exactly the edges a rebuilt graph over the renamed pool
+   would. *)
+let discover_partners engine (q : Query.t) =
+  let probe_all atoms index =
+    List.concat_map
+      (fun a ->
+        List.map snd (Coordination_graph.Atom_index.probe index a))
+      atoms
+  in
+  let outgoing = probe_all q.Query.post engine.heads_index in
+  let incoming = probe_all q.Query.head engine.posts_index in
+  List.sort_uniq Int.compare (List.rev_append outgoing incoming)
+
+(* Merge the component member lists when two roots fuse. *)
+let union_ids engine a b =
+  let ra = Graphs.Union_find.find engine.uf a in
+  let rb = Graphs.Union_find.find engine.uf b in
+  if ra <> rb then begin
+    let ma =
+      Option.value ~default:[] (Hashtbl.find_opt engine.comp_members ra)
+    in
+    let mb =
+      Option.value ~default:[] (Hashtbl.find_opt engine.comp_members rb)
+    in
+    let r = Graphs.Union_find.union engine.uf a b in
+    Hashtbl.remove engine.comp_members ra;
+    Hashtbl.remove engine.comp_members rb;
+    Hashtbl.replace engine.comp_members r (List.rev_append ma mb)
+  end
+
+(* Admit a query into the pool.  In incremental mode this is where all
+   persistent state is maintained: probe the indexes for partners
+   (before indexing the entry's own atoms, so it cannot partner with
+   itself), record the adjacency on both sides, union into the
+   partition, and mark the (possibly fused) component dirty. *)
+let add_entry engine query =
+  let id = engine.next_id in
+  engine.next_id <- id + 1;
+  let e = { id; query; neighbours = [] } in
+  (match engine.mode with
+  | Full_rebuild -> Hashtbl.replace engine.entries id e
+  | Incremental ->
+    let partners = discover_partners engine query in
+    e.neighbours <- partners;
+    List.iter
+      (fun p ->
+        let pe = Hashtbl.find engine.entries p in
+        pe.neighbours <- id :: pe.neighbours)
+      partners;
+    Hashtbl.replace engine.entries id e;
+    index_entry engine e;
+    Graphs.Union_find.ensure engine.uf id;
+    Hashtbl.replace engine.comp_members id [ id ];
+    List.iter (fun p -> union_ids engine id p) partners;
+    mark_dirty engine id);
+  e
+
+(* Remove [ids] from the pool.  In incremental mode their components are
+   dissolved: every surviving member is reset to a union-find singleton
+   and re-unioned from its stored (still-live) adjacency, rebuilding the
+   partition locally.  Survivors are marked dirty — retirement shrinks
+   their component, which can newly enable a coordinating set among the
+   remainder (the fired set may have been what made a candidate
+   unsafe or over-constrained). *)
+let retire engine ids =
+  match engine.mode with
+  | Full_rebuild -> List.iter (fun id -> Hashtbl.remove engine.entries id) ids
+  | Incremental ->
+    let roots =
+      List.sort_uniq Int.compare
+        (List.map (fun id -> Graphs.Union_find.find engine.uf id) ids)
+    in
+    let component_ids =
+      List.concat_map
+        (fun r ->
+          Option.value ~default:[] (Hashtbl.find_opt engine.comp_members r))
+        roots
+    in
+    List.iter
+      (fun id ->
+        let e = Hashtbl.find engine.entries id in
+        unindex_entry engine e;
+        Hashtbl.remove engine.entries id;
+        Hashtbl.remove engine.dirty id)
+      ids;
+    List.iter (fun r -> Hashtbl.remove engine.comp_members r) roots;
+    let survivors =
+      List.filter (fun id -> Hashtbl.mem engine.entries id) component_ids
+    in
+    (* Reset every survivor first: afterwards each live node of the old
+       tree is its own root, so the re-union pass below only ever links
+       freshly reset roots.  Retired nodes may keep stale parent
+       pointers into the old tree, but nothing ever calls [find] on a
+       retired id again. *)
+    List.iter
+      (fun id ->
+        let e = Hashtbl.find engine.entries id in
+        e.neighbours <-
+          List.filter (fun nb -> Hashtbl.mem engine.entries nb) e.neighbours;
+        Graphs.Union_find.reset engine.uf id;
+        Hashtbl.replace engine.comp_members id [ id ])
+      survivors;
+    List.iter
+      (fun id ->
+        let e = Hashtbl.find engine.entries id in
+        List.iter (fun nb -> union_ids engine id nb) e.neighbours;
+        mark_dirty engine id)
+      survivors
+
+(* Weakly connected components of a query array's coordination graph, as
+   lists of positions (each ascending, components ordered by first
+   member).  Traversal uses an explicit work stack: a recursive DFS here
+   used to exhaust the call stack on deep chain-shaped pools.  Renaming
+   the queries apart is unnecessary — edge existence only inspects
+   relation symbols and constants, which renaming preserves. *)
+let wcc (pool : Query.t array) =
+  let graph = (Coordination_graph.build pool).Coordination_graph.graph in
+  let n = Array.length pool in
   let undirected = Graphs.Digraph.create n in
   Graphs.Digraph.iter_edges
     (fun u v ->
       Graphs.Digraph.add_edge undirected u v;
       Graphs.Digraph.add_edge undirected v u)
-    graph.graph;
+    graph;
   let seen = Array.make n false in
   let comps = ref [] in
   for v = 0 to n - 1 do
     if not seen.(v) then begin
       let acc = ref [] in
-      let rec dfs u =
-        if not seen.(u) then begin
-          seen.(u) <- true;
-          acc := u :: !acc;
-          List.iter dfs (Graphs.Digraph.successors undirected u)
-        end
-      in
-      dfs v;
+      let stack = ref [ v ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+          stack := rest;
+          if not seen.(u) then begin
+            seen.(u) <- true;
+            acc := u :: !acc;
+            List.iter
+              (fun w -> if not seen.(w) then stack := w :: !stack)
+              (Graphs.Digraph.successors undirected u)
+          end
+      done;
       comps := List.sort Int.compare !acc :: !comps
     end
   done;
   List.rev !comps
 
+let components engine =
+  let live = live_entries engine in
+  match engine.mode with
+  | Full_rebuild ->
+    wcc (Array.of_list (List.map (fun e -> e.query) live))
+  | Incremental ->
+    let position = Hashtbl.create (2 * List.length live) in
+    List.iteri (fun i e -> Hashtbl.replace position e.id i) live;
+    let groups = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let r = Graphs.Union_find.find engine.uf e.id in
+        let l = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+        Hashtbl.replace groups r (Hashtbl.find position e.id :: l))
+      live;
+    Hashtbl.fold (fun _ l acc -> List.rev l :: acc) groups []
+    |> List.sort (fun a b -> Int.compare (List.hd a) (List.hd b))
+
 (* Book the grounded body tuples of a fired set: each tuple is one unit
    of inventory.  Two-phase for exception safety: every deletion is
    resolved (relation looked up, variables grounded) before the first
    tuple is removed, so a failure — an unbound variable, a missing
-   binding — leaves the store untouched rather than half-consumed. *)
-let consume_inventory db (queries : Query.t array) (solution : Solution.t) =
+   binding — leaves the store untouched rather than half-consumed.
+
+   The resolved list is deduplicated before deletion.  Two members of a
+   fired set can ground onto the SAME tuple (one seat block serving two
+   bookings), and a tuple can already be absent; silently issuing the
+   deletes would hide both.  The set still fires — its members genuinely
+   coordinated, and refusing here would leave them half-committed — but
+   the conflict is recorded on the engine and emitted as an Obs event so
+   the caller can compensate. *)
+let consume_inventory engine (queries : Query.t array) (solution : Solution.t)
+    =
   let deletions =
     List.concat_map
       (fun m ->
@@ -104,109 +337,145 @@ let consume_inventory db (queries : Query.t array) (solution : Solution.t) =
                   | Term.Var x -> Eval.Binding.find x solution.assignment)
                 a.args
             in
-            match Database.relation_opt db a.rel with
-            | Some r -> Some (r, tuple)
+            match Database.relation_opt engine.db a.rel with
+            | Some r -> Some (a.rel, r, tuple)
             | None -> None)
           queries.(m).Query.body.Cq.atoms)
       solution.members
   in
-  List.iter (fun (r, tuple) -> ignore (Relation.delete r tuple)) deletions
+  (* Demand count per (relation, tuple), in first-demand order. *)
+  let counts = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, r, tuple) ->
+      let key = (name, tuple) in
+      match Hashtbl.find_opt counts key with
+      | Some (n, _) -> Hashtbl.replace counts key (n + 1, r)
+      | None ->
+        Hashtbl.replace counts key (1, r);
+        order := key :: !order)
+    deletions;
+  let order = List.rev !order in
+  let double_spent =
+    List.filter (fun key -> fst (Hashtbl.find counts key) > 1) order
+  in
+  let missing =
+    List.filter
+      (fun key ->
+        let _, r = Hashtbl.find counts key in
+        not (Relation.delete r (snd key)))
+      order
+  in
+  if double_spent <> [] || missing <> [] then begin
+    engine.last_conflict <- Some { double_spent; missing };
+    Obs.event
+      ~args:(fun () ->
+        [
+          ("double_spent", Obs.Int (List.length double_spent));
+          ("missing", Obs.Int (List.length missing));
+        ])
+      "online.inventory_conflict"
+  end
 
-(* Evaluate one component (pool positions); on success remove members
-   from the pool and report them. *)
-let evaluate engine pool_array positions =
-  let input = List.map (fun i -> pool_array.(i)) positions in
+(* Evaluate one component, given as a list of live ids in ascending
+   order; on success retire the members and report them. *)
+let evaluate engine ids =
+  let id_of_position = Array.of_list ids in
+  let input =
+    List.map (fun id -> (Hashtbl.find engine.entries id).query) ids
+  in
   match Scc_algo.solve ~selection:engine.selection engine.db input with
   | Error (Scc_algo.Not_safe ws) -> Error ws
   | Ok outcome -> (
-    accumulate engine.stats outcome.stats;
+    Stats.merge ~into:engine.stats outcome.stats;
     (if outcome.degraded <> None then
        engine.last_degradation <- outcome.degraded);
     match outcome.solution with
-    | None -> Ok None
+    | None ->
+      (* A complete (non-degraded) quiescent evaluation is cachable: the
+         component cannot fire until its membership or the database
+         changes, and both of those mark it dirty again.  A degraded
+         evaluation proves nothing — some candidate was never probed —
+         so it must stay dirty for the next flush. *)
+      if engine.mode = Incremental && outcome.degraded = None then
+        List.iter (fun id -> Hashtbl.remove engine.dirty id) ids;
+      Ok None
     | Some solution ->
       (* Commit the pool/satisfied bookkeeping BEFORE consuming
          inventory: if the deletion pass failed after the pool shrank,
          the engine would stay coherent (the set genuinely fired); the
          reverse order could delete tuples for a set never recorded as
          satisfied. *)
-      (* Map sub-list member indexes back to pool positions. *)
-      let position_of = Array.of_list positions in
-      let member_positions =
-        List.map (fun i -> position_of.(i)) solution.members
-      in
-      let member_set = Hashtbl.create 8 in
-      List.iter (fun p -> Hashtbl.replace member_set p ()) member_positions;
+      let member_ids = List.map (fun i -> id_of_position.(i)) solution.members in
       let satisfied_queries =
-        List.filteri (fun p _ -> Hashtbl.mem member_set p)
-          (Array.to_list pool_array)
+        List.map (fun id -> (Hashtbl.find engine.entries id).query) member_ids
       in
-      let keep =
-        List.filteri (fun p _ -> not (Hashtbl.mem member_set p))
-          (Array.to_list pool_array)
-      in
-      engine.pool <- List.rev keep;
+      retire engine member_ids;
       engine.satisfied <- engine.satisfied + List.length satisfied_queries;
-      if engine.consume then
-        consume_inventory engine.db outcome.queries solution;
+      if engine.consume then consume_inventory engine outcome.queries solution;
       Ok (Some { queries = satisfied_queries; assignment = solution.assignment }))
+
+(* The ids of the component containing [e], ascending. *)
+let component_of engine (e : entry) =
+  match engine.mode with
+  | Incremental ->
+    let r = Graphs.Union_find.find engine.uf e.id in
+    List.sort Int.compare
+      (Option.value ~default:[ e.id ]
+         (Hashtbl.find_opt engine.comp_members r))
+  | Full_rebuild ->
+    let live = live_entries engine in
+    let ids = Array.of_list (List.map (fun x -> x.id) live) in
+    let positions =
+      List.find
+        (fun c -> List.exists (fun p -> ids.(p) = e.id) c)
+        (wcc (Array.of_list (List.map (fun x -> x.query) live)))
+    in
+    List.map (fun p -> ids.(p)) positions
 
 let submit engine query =
   Obs.with_span
     ~args:(fun () ->
       [
         ("query", Obs.Str query.Query.name);
-        ("pool", Obs.Int (List.length engine.pool));
+        ("pool", Obs.Int (Hashtbl.length engine.entries));
       ])
     "online.submit"
   @@ fun () ->
   engine.last_degradation <- None;
-  engine.pool <- query :: engine.pool;
-  if not engine.eager then Pending
-  else begin
-    let pool_array = Array.of_list (pending engine) in
-    let new_position = Array.length pool_array - 1 in
-    let component =
-      List.find
-        (fun c -> List.mem new_position c)
-        (components pool_array)
-    in
-    match evaluate engine pool_array component with
-    | Error ws ->
-      (* Do not admit a query that makes its component unsafe. *)
-      engine.pool <- List.tl engine.pool;
-      Rejected_unsafe ws
-    | Ok None -> Pending
-    | Ok (Some c) -> Coordinated c
-  end
+  engine.last_conflict <- None;
+  refresh_db_version engine;
+  let e = add_entry engine query in
+  let result =
+    if not engine.eager then Pending
+    else
+      match evaluate engine (component_of engine e) with
+      | Error ws ->
+        (* Do not admit a query that makes its component unsafe. *)
+        retire engine [ e.id ];
+        Rejected_unsafe ws
+      | Ok None -> Pending
+      | Ok (Some c) -> Coordinated c
+  in
+  sync_db_version engine;
+  result
 
-let flush engine =
-  let pool0 = List.length engine.pool in
-  Obs.with_span
-    ~args:(fun () ->
-      [
-        ("pool", Obs.Int pool0);
-        ("remaining", Obs.Int (List.length engine.pool));
-      ])
-    "online.flush"
-  @@ fun () ->
-  engine.last_degradation <- None;
-  let results = ref [] in
+(* Full-rebuild flush: re-derive the components of the whole pool, try
+   each in order, restart after a fire (positions shift).  Re-evaluate
+   until a fixpoint: removing one satisfied set can newly enable
+   another among the remainder. *)
+let flush_full engine results =
   let progress = ref true in
-  (* Re-evaluate until a fixpoint: removing one satisfied set can only
-     shrink components, and components that failed keep failing, so one
-     pass per fired set suffices. *)
   while !progress do
     progress := false;
-    let pool_array = Array.of_list (pending engine) in
-    if Array.length pool_array > 0 then begin
-      let comps = components pool_array in
-      (* Evaluate components against the current pool snapshot; stop at
-         the first fired set because positions shift afterwards. *)
+    let live = live_entries engine in
+    if live <> [] then begin
+      let ids = Array.of_list (List.map (fun e -> e.id) live) in
+      let comps = wcc (Array.of_list (List.map (fun e -> e.query) live)) in
       let rec try_components = function
         | [] -> ()
         | c :: rest -> (
-          match evaluate engine pool_array c with
+          match evaluate engine (List.map (fun p -> ids.(p)) c) with
           | Ok (Some fired) ->
             results := fired :: !results;
             progress := true
@@ -214,5 +483,90 @@ let flush engine =
       in
       try_components comps
     end
-  done;
+  done
+
+(* Incremental flush: only dirty components are evaluated — an all-clean
+   component was last evaluated (completely, to no fire) with exactly
+   its current member set and database contents, so it provably cannot
+   fire now.  Components are tried in order of their smallest member id,
+   matching the full rebuild's position order; since clean components
+   cannot fire, both modes fire the same sets in the same order. *)
+let flush_incremental engine results =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let roots = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun id () ->
+        if Hashtbl.mem engine.entries id then
+          Hashtbl.replace roots (Graphs.Union_find.find engine.uf id) ())
+      engine.dirty;
+    let comps =
+      Hashtbl.fold
+        (fun r () acc ->
+          match Hashtbl.find_opt engine.comp_members r with
+          | None | Some [] -> acc
+          | Some ids -> List.sort Int.compare ids :: acc)
+        roots []
+      |> List.sort (fun a b -> Int.compare (List.hd a) (List.hd b))
+    in
+    let rec try_components = function
+      | [] -> ()
+      | c :: rest -> (
+        match evaluate engine c with
+        | Ok (Some fired) ->
+          (* Membership changed: abandon the stale component list and
+             rescan (the untried components stay dirty). *)
+          results := fired :: !results;
+          progress := true
+        | Ok None -> try_components rest
+        | Error _ ->
+          (* An unsafe component cannot fire until its membership or
+             the database changes — both mark it dirty again — so its
+             verdict caches exactly like a quiescent one. *)
+          List.iter (fun id -> Hashtbl.remove engine.dirty id) c;
+          try_components rest)
+    in
+    try_components comps
+  done
+
+let flush_core engine =
+  let results = ref [] in
+  (match engine.mode with
+  | Full_rebuild -> flush_full engine results
+  | Incremental -> flush_incremental engine results);
   List.rev !results
+
+let flush engine =
+  let pool0 = Hashtbl.length engine.entries in
+  Obs.with_span
+    ~args:(fun () ->
+      [
+        ("pool", Obs.Int pool0);
+        ("remaining", Obs.Int (Hashtbl.length engine.entries));
+      ])
+    "online.flush"
+  @@ fun () ->
+  engine.last_degradation <- None;
+  engine.last_conflict <- None;
+  refresh_db_version engine;
+  let fired = flush_core engine in
+  sync_db_version engine;
+  fired
+
+let submit_all engine queries =
+  Obs.with_span
+    ~args:(fun () ->
+      [
+        ("batch", Obs.Int (List.length queries));
+        ("pool", Obs.Int (Hashtbl.length engine.entries));
+      ])
+    "online.submit_all"
+  @@ fun () ->
+  engine.last_degradation <- None;
+  engine.last_conflict <- None;
+  refresh_db_version engine;
+  List.iter (fun q -> ignore (add_entry engine q)) queries;
+  let fired = flush_core engine in
+  sync_db_version engine;
+  fired

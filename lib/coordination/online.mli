@@ -13,19 +13,55 @@
     it to the pool and (in eager mode) evaluates only the weakly
     connected component of the coordination graph that contains it; a
     found coordinating set is reported and its members leave the pool.
-    Deferred submissions accumulate until {!flush}, which evaluates
-    every component — useful for batching, and equivalent to one
-    {!Scc_algo.solve} per component. *)
+    Deferred submissions accumulate until {!flush} (or arrive batched
+    through {!submit_all}), which evaluates pending components — useful
+    for batching, and equivalent to one {!Scc_algo.solve} per component.
+
+    {2 Incremental vs full rebuild}
+
+    Two observationally equivalent engine {!mode}s exist.
+    [Full_rebuild] is the reference implementation: every evaluation
+    rebuilds the coordination graph and re-derives the weakly-connected
+    components of the {e whole} pool — O(pool²) work per submission.
+    [Incremental] (the default) maintains persistent per-engine state
+    instead, the shape Chen et al.'s {e enmeshed queries} system uses
+    for this workload:
+
+    - an {b atom index} keyed by relation symbol and first-argument
+      constant ({!Coordination_graph.Atom_index}) over the pool's
+      postcondition and head atoms, so a new arrival discovers its
+      coordination edges by probing the index instead of re-unifying
+      against every pooled query;
+    - a {b union-find} ({!Graphs.Union_find}) maintaining the
+      weakly-connected-component partition as edges are added, with
+      component dissolution and local re-linking (from stored adjacency)
+      only when a fired set retires its members;
+    - {b dirty-component tracking}: {!flush} and {!submit_all}
+      re-evaluate only components touched since their last evaluation —
+      a new member, a retirement, or any database mutation
+      ({!Relational.Database.data_version}) marks a component dirty;
+      untouched components provably cannot fire (evaluation is
+      deterministic and already found nothing), so their cached outcome
+      stands.  Degraded evaluations (see {!Resilient}) stay dirty.
+
+    Per-submission cost drops from O(pool²) to O(edges touched). *)
 
 open Relational
 open Entangled
 
 type t
 
+type mode =
+  | Full_rebuild  (** rebuild graph + components of the whole pool per
+                      evaluation (reference implementation) *)
+  | Incremental   (** persistent atom index, union-find and dirty
+                      tracking (default) *)
+
 val create :
   ?selection:Scc_algo.selection ->
   ?eager:bool ->
   ?consume:bool ->
+  ?mode:mode ->
   Database.t ->
   t
 (** [eager] (default [true]): evaluate on every submission.  With
@@ -34,13 +70,19 @@ val create :
     [consume] (default [false]): when a set coordinates, delete the
     grounded body tuples its members used from the database — each tuple
     is one bookable unit (a flight seat block, a class section), so later
-    arrivals cannot coordinate on spent inventory. *)
+    arrivals cannot coordinate on spent inventory.
+
+    [mode] (default [Incremental]): see the module comment.  Both modes
+    produce identical coordinated sets, pool contents and satisfied
+    counts for any interleaving of operations; they differ only in cost. *)
+
+val mode : t -> mode
 
 type coordinated = {
   queries : Query.t list;        (** the satisfied queries, in pool order *)
   assignment : Eval.valuation;
-      (** over the members' variables, renamed with the pool prefixes
-          used at evaluation time *)
+      (** over the members' variables, renamed with the prefixes of
+          their positions within the evaluated component *)
 }
 
 type submission =
@@ -51,8 +93,17 @@ type submission =
 
 val submit : t -> Query.t -> submission
 
+val submit_all : t -> Query.t list -> coordinated list
+(** Batched submission: enqueue the whole batch (regardless of [eager]),
+    then evaluate pending components as {!flush} does.  One index/graph
+    maintenance pass per query and one evaluation per touched component,
+    instead of one component evaluation per submission — the batched
+    counterpart of eager {!submit}.  Queries whose component is unsafe
+    are left pending (there is no single arrival to reject). *)
+
 val flush : t -> coordinated list
-(** Evaluate every weakly connected component of the pending pool;
+(** Evaluate the pending pool's weakly connected components — in
+    incremental mode, only those touched since their last evaluation;
     satisfied sets leave the pool.  Returns them in discovery order. *)
 
 val pending : t -> Query.t list
@@ -60,15 +111,42 @@ val pending : t -> Query.t list
 
 val pending_count : t -> int
 
+val components : t -> int list list
+(** The weakly-connected-component partition of the pending pool, as
+    lists of positions into {!pending} (each sorted ascending,
+    components ordered by their first member).  Exposed for diagnostics
+    and differential testing; in incremental mode this reads the
+    union-find instead of traversing a rebuilt graph. *)
+
 val total_coordinated : t -> int
 (** Queries satisfied over the engine's lifetime. *)
 
 val stats : t -> Stats.t
-(** Cumulative solver statistics across all evaluations. *)
+(** Cumulative solver statistics across all evaluations (folded with
+    {!Stats.merge}). *)
 
 val last_degradation : t -> Resilient.degradation option
-(** [Some _] when the most recent {!submit} or {!flush} hit an
-    armed-guard limit mid-evaluation (see {!Resilient}): the underlying
-    solve returned a degraded outcome, so some component may hold a
-    coordinating set that was never probed.  Cleared at the start of the
-    next [submit]/[flush]. *)
+(** [Some _] when the most recent {!submit}, {!submit_all} or {!flush}
+    hit an armed-guard limit mid-evaluation (see {!Resilient}): the
+    underlying solve returned a degraded outcome, so some component may
+    hold a coordinating set that was never probed.  Cleared at the start
+    of the next operation.  In incremental mode a degraded component
+    stays dirty and is re-evaluated by the next [flush]. *)
+
+type inventory_conflict = {
+  double_spent : (string * Tuple.t) list;
+      (** tuples demanded by more than one member of the fired set:
+          one unit of inventory cannot serve two bookings.  The tuple is
+          deleted once; the set still fires (its members genuinely
+          coordinated), but the conflict is reported so the caller can
+          compensate. *)
+  missing : (string * Tuple.t) list;
+      (** tuples a fired member grounded onto that were already absent
+          at booking time *)
+}
+
+val last_inventory_conflict : t -> inventory_conflict option
+(** [Some _] when the most recent fired set's inventory booking
+    (engine created with [consume:true]) double-demanded or missed a
+    tuple — see {!inventory_conflict}.  Cleared at the start of the next
+    {!submit}, {!submit_all} or {!flush}. *)

@@ -25,6 +25,23 @@ let create () =
     tuples_scanned = 0;
   }
 
+(* The one canonical fold of one record into another.  Anything that
+   accumulates solver statistics (the online engine, batch drivers) must
+   go through here: a field added to [t] that is not summed below is a
+   compile error only in this function, not silently dropped at every
+   hand-rolled copy site. *)
+let merge ~(into : t) (from : t) =
+  into.db_probes <- into.db_probes + from.db_probes;
+  into.graph_ns <- Int64.add into.graph_ns from.graph_ns;
+  into.unify_ns <- Int64.add into.unify_ns from.unify_ns;
+  into.ground_ns <- Int64.add into.ground_ns from.ground_ns;
+  into.total_ns <- Int64.add into.total_ns from.total_ns;
+  into.candidates <- into.candidates + from.candidates;
+  into.cleaning_rounds <- into.cleaning_rounds + from.cleaning_rounds;
+  into.plan_hits <- into.plan_hits + from.plan_hits;
+  into.plan_misses <- into.plan_misses + from.plan_misses;
+  into.tuples_scanned <- into.tuples_scanned + from.tuples_scanned
+
 let add_counters stats (d : Relational.Counters.t) =
   stats.db_probes <- stats.db_probes + d.probes;
   stats.plan_hits <- stats.plan_hits + d.plan_hits;

@@ -20,6 +20,12 @@ type t = {
 
 val create : unit -> t
 
+val merge : into:t -> t -> unit
+(** [merge ~into from] adds every field of [from] into [into] — counts
+    and timing spans alike.  This is the {e only} place a [Stats.t] is
+    folded into another; accumulate through it so a newly added field
+    cannot be silently dropped from cumulative totals. *)
+
 val add_counters : t -> Relational.Counters.t -> unit
 (** [add_counters stats delta] folds a query-engine counter delta
     (typically [Counters.diff] of two {!Relational.Database.snapshot_counters})

@@ -27,75 +27,96 @@ let compatible (a : Cq.atom) (b : Cq.atom) =
   in
   loop 0
 
-(* Head atoms are bucketed two levels deep: by relation symbol, then by
-   the constant in their first argument position (atoms whose first
-   argument is a variable go into a separate wildcard list).  Real
-   workloads name the coordination partner in the first position —
-   R(user, x) — so a post atom with a constant there only ever scans the
-   handful of heads that could match, making graph construction
-   near-linear instead of quadratic (the quantity Figure 6 measures). *)
-type head_bucket = {
-  by_first_const : (int * int * Cq.atom) list Value.Hashtbl.t;
-  mutable var_first : (int * int * Cq.atom) list;
-}
+(* Atoms are bucketed two levels deep: by relation symbol, then by the
+   constant in their first argument position (atoms whose first argument
+   is a variable go into a separate wildcard list).  Real workloads name
+   the coordination partner in the first position — R(user, x) — so a
+   probe atom with a constant there only ever scans the handful of
+   stored atoms that could match, making graph construction near-linear
+   instead of quadratic (the quantity Figure 6 measures) and giving the
+   online engine O(candidates) incremental edge discovery per arrival. *)
+module Atom_index = struct
+  type 'a bucket = {
+    by_first_const : (Cq.atom * 'a) list Value.Hashtbl.t;
+    mutable var_first : (Cq.atom * 'a) list;
+  }
+
+  type 'a t = (string, 'a bucket) Hashtbl.t
+
+  let create () : 'a t = Hashtbl.create 16
+
+  let first_term (a : Cq.atom) =
+    if Array.length a.args = 0 then Term.Var "" else a.args.(0)
+
+  let add (t : 'a t) (a : Cq.atom) payload =
+    let bucket =
+      match Hashtbl.find_opt t a.rel with
+      | Some b -> b
+      | None ->
+        let b = { by_first_const = Value.Hashtbl.create 16; var_first = [] } in
+        Hashtbl.add t a.rel b;
+        b
+    in
+    let entry = (a, payload) in
+    match first_term a with
+    | Term.Const v ->
+      let l =
+        Option.value ~default:[] (Value.Hashtbl.find_opt bucket.by_first_const v)
+      in
+      Value.Hashtbl.replace bucket.by_first_const v (entry :: l)
+    | Term.Var _ -> bucket.var_first <- entry :: bucket.var_first
+
+  let remove (t : 'a t) (a : Cq.atom) pred =
+    match Hashtbl.find_opt t a.rel with
+    | None -> ()
+    | Some bucket -> (
+      let keep (_, payload) = not (pred payload) in
+      match first_term a with
+      | Term.Const v -> (
+        match Value.Hashtbl.find_opt bucket.by_first_const v with
+        | None -> ()
+        | Some l ->
+          Value.Hashtbl.replace bucket.by_first_const v (List.filter keep l))
+      | Term.Var _ -> bucket.var_first <- List.filter keep bucket.var_first)
+
+  let probe (t : 'a t) (p : Cq.atom) =
+    match Hashtbl.find_opt t p.rel with
+    | None -> []
+    | Some bucket ->
+      let candidates =
+        match first_term p with
+        | Term.Const v ->
+          Option.value ~default:[]
+            (Value.Hashtbl.find_opt bucket.by_first_const v)
+          @ bucket.var_first
+        | Term.Var _ ->
+          Value.Hashtbl.fold
+            (fun _ l acc -> l @ acc)
+            bucket.by_first_const bucket.var_first
+      in
+      List.filter (fun (a, _) -> compatible p a) candidates
+end
 
 let build queries =
   let n = Array.length queries in
-  let heads_by_rel : (string, head_bucket) Hashtbl.t = Hashtbl.create 16 in
+  let heads = Atom_index.create () in
   Array.iteri
     (fun j q ->
-      List.iteri
-        (fun hi (h : Cq.atom) ->
-          let bucket =
-            match Hashtbl.find_opt heads_by_rel h.rel with
-            | Some b -> b
-            | None ->
-              let b =
-                { by_first_const = Value.Hashtbl.create 16; var_first = [] }
-              in
-              Hashtbl.add heads_by_rel h.rel b;
-              b
-          in
-          let entry = (j, hi, h) in
-          match (if Array.length h.args = 0 then Term.Var "" else h.args.(0)) with
-          | Term.Const v ->
-            let l =
-              Option.value ~default:[]
-                (Value.Hashtbl.find_opt bucket.by_first_const v)
-            in
-            Value.Hashtbl.replace bucket.by_first_const v (entry :: l)
-          | Term.Var _ -> bucket.var_first <- entry :: bucket.var_first)
-        q.Query.head)
+      List.iteri (fun hi (h : Cq.atom) -> Atom_index.add heads h (j, hi)) q.Query.head)
     queries;
   let graph = Graphs.Digraph.create n in
   let extended = ref [] in
-  let try_entry i pi p (j, hi, h) =
-    if compatible p h then begin
-      extended := { src = i; post_index = pi; dst = j; head_index = hi } :: !extended;
-      Graphs.Digraph.add_edge graph i j
-    end
-  in
   Array.iteri
     (fun i q ->
       List.iteri
         (fun pi (p : Cq.atom) ->
-          match Hashtbl.find_opt heads_by_rel p.rel with
-          | None -> ()
-          | Some bucket ->
-            let candidates =
-              match
-                if Array.length p.args = 0 then Term.Var "" else p.args.(0)
-              with
-              | Term.Const v ->
-                Option.value ~default:[]
-                  (Value.Hashtbl.find_opt bucket.by_first_const v)
-                @ bucket.var_first
-              | Term.Var _ ->
-                Value.Hashtbl.fold
-                  (fun _ l acc -> l @ acc)
-                  bucket.by_first_const bucket.var_first
-            in
-            List.iter (try_entry i pi p) candidates)
+          List.iter
+            (fun (_, (j, hi)) ->
+              extended :=
+                { src = i; post_index = pi; dst = j; head_index = hi }
+                :: !extended;
+              Graphs.Digraph.add_edge graph i j)
+            (Atom_index.probe heads p))
         q.Query.post)
     queries;
   (* Deterministic edge order: by (src, post_index, dst, head_index). *)

@@ -28,6 +28,29 @@ val compatible : Cq.atom -> Cq.atom -> bool
     constants.  Weaker than MGU existence (repeated variables can still
     make real unification fail — the algorithms handle that later). *)
 
+(** A two-level atom index: relation symbol, then the constant in the
+    first argument position (wildcard bucket for atoms whose first
+    argument is a variable).  {!build} uses one for near-linear graph
+    construction; the online engine keeps persistent indexes of pooled
+    postconditions and heads so a new arrival discovers its coordination
+    edges by probing instead of re-unifying against the whole pool. *)
+module Atom_index : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val add : 'a t -> Cq.atom -> 'a -> unit
+  (** Register an atom with a caller payload (typically its owner). *)
+
+  val remove : 'a t -> Cq.atom -> ('a -> bool) -> unit
+  (** [remove t a pred] drops every entry under [a]'s buckets whose
+      payload satisfies [pred] — pass the same atom used in {!add}. *)
+
+  val probe : 'a t -> Cq.atom -> (Cq.atom * 'a) list
+  (** All stored atoms {!compatible} with the probe atom, bucket order
+      (first-argument-constant matches before wildcards). *)
+end
+
 val build : Query.t array -> t
 (** Queries are expected to be renamed apart (see {!Query.rename_set});
     variable names shared between queries would create spurious unifier

@@ -1,0 +1,43 @@
+(** Growable union-find (disjoint sets) over dense integer ids.
+
+    The online coordination engine maintains the weakly-connected
+    components of its pool with one of these: submissions add nodes and
+    union them with the partners their atoms reach, so the component
+    containing a query is available in near-constant amortized time
+    instead of a full graph traversal per arrival.
+
+    Unlike the textbook structure, nodes can be {!reset} back to
+    singletons — the engine dissolves a component when a fired set
+    retires its members and re-links the survivors from their stored
+    adjacency.  A reset invalidates the rank heuristic for the affected
+    trees but never correctness; path compression keeps subsequent finds
+    cheap either way. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty structure.  [capacity] pre-sizes the backing arrays. *)
+
+val ensure : t -> int -> unit
+(** [ensure t id] makes every id in [0..id] valid, new ones as
+    singletons.  Ids already present are untouched.
+    @raise Invalid_argument on a negative id. *)
+
+val cardinal : t -> int
+(** Number of valid ids (one past the largest ever ensured). *)
+
+val find : t -> int -> int
+(** Representative of [id]'s set, with path compression.
+    @raise Invalid_argument on an id never ensured. *)
+
+val union : t -> int -> int -> int
+(** Merge the two sets; returns the representative of the merged set
+    (one of the two previous representatives).  Idempotent on already
+    united ids. *)
+
+val same : t -> int -> int -> bool
+
+val reset : t -> int -> unit
+(** Make [id] a singleton root again.  The caller is responsible for
+    re-unioning any other member of its former set that should stay
+    connected — see the module comment. *)

@@ -27,6 +27,7 @@ let create_table db schema =
   let r = Relation.create schema in
   Hashtbl.add db.tables name r;
   invalidate_plans db;
+  Relation.note_mutation ();
   r
 
 let create_table' db name attrs = create_table db (Schema.make name attrs)
@@ -34,7 +35,8 @@ let create_table' db name attrs = create_table db (Schema.make name attrs)
 let drop_table db name =
   if Hashtbl.mem db.tables name then begin
     Hashtbl.remove db.tables name;
-    invalidate_plans db
+    invalidate_plans db;
+    Relation.note_mutation ()
   end
 
 let relation db name =
@@ -59,6 +61,8 @@ let active_domain db =
 
 let total_tuples db =
   List.fold_left (fun acc r -> acc + Relation.cardinal r) 0 (relations db)
+
+let data_version _db = Relation.mutation_count ()
 
 (* ------------------------------------------------------------------ *)
 (* Plan cache                                                         *)

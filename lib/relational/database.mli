@@ -43,6 +43,14 @@ val active_domain : t -> Value.Set.t
 
 val total_tuples : t -> int
 
+val data_version : t -> int
+(** A stamp that moves whenever database contents may have changed —
+    any successful insert or delete, any table created or dropped.
+    Currently process-wide (see {!Relation.mutation_count}), so it can
+    move for mutations of {e other} databases too; callers use it to
+    invalidate content-derived caches, where a spurious move only costs
+    a re-computation. *)
+
 (** {2 Plan cache}
 
     Compiled plans ({!Plan.t}) are cached per database instance, keyed

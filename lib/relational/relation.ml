@@ -20,6 +20,18 @@ type t = {
   mutable indexes : posting Value.Hashtbl.t option array;
 }
 
+(* Process-wide stamp of extensional mutations (successful inserts and
+   deletes, plus table creation/removal via [note_mutation]).  Consumers
+   that cache anything derived from database contents — the online
+   engine's per-component evaluation cache — snapshot this and
+   invalidate when it moves.  A monotone counter shared across stores
+   can only over-invalidate, never miss a change. *)
+let mutations = ref 0
+
+let mutation_count () = !mutations
+
+let note_mutation () = incr mutations
+
 let create schema =
   {
     schema;
@@ -67,6 +79,7 @@ let insert r t =
       (fun c idx ->
         match idx with None -> () | Some idx -> index_row idx row t c)
       r.indexes;
+    note_mutation ();
     true
   end
 
@@ -121,6 +134,7 @@ let delete r t =
           | None -> ()))
       r.indexes;
     if r.dead_count > Vec.length r.tuples / 2 then compact r;
+    note_mutation ();
     true
 
 let mem r t =

@@ -74,3 +74,14 @@ val active_domain : t -> Value.Set.t
 
 val pp : Format.formatter -> t -> unit
 (** Prints the schema and all tuples, one per line. *)
+
+val mutation_count : unit -> int
+(** Process-wide count of extensional mutations: bumped on every
+    successful {!insert} and {!delete} (in any relation) and by
+    {!note_mutation}.  A cache keyed on database contents snapshots this
+    and invalidates when it moves; sharing the counter across stores
+    only ever over-invalidates. *)
+
+val note_mutation : unit -> unit
+(** Advance {!mutation_count} by hand — used by {!Database} for
+    structural changes (table creation and removal). *)

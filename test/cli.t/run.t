@@ -98,6 +98,31 @@ sets book their tuples and later arrivals find them gone.
   pending (2): amy, ben
   bye: 2 queries coordinated, 2 still pending
 
+The engine keeps persistent incremental state by default; --mode
+full-rebuild selects the reference implementation that re-derives the
+coordination graph on every evaluation.  Both modes answer the same
+stream identically.
+
+  $ entangle repl --consume --mode full-rebuild <<'REPL'
+  > table Flights(fid, dest).
+  > fact Flights(101, Zurich).
+  > query gwyneth: { R(Chris, x) } R(Gwyneth, x) :- Flights(x, Zurich).
+  > \pending
+  > query chris: { } R(Chris, y) :- Flights(y, Zurich).
+  > query amy: { R(Ben, u) } R(Amy, u) :- Flights(u, Zurich).
+  > query ben: { R(Amy, v) } R(Ben, v) :- Flights(v, Zurich).
+  > \pending
+  > \quit
+  > REPL
+  table Flights created
+  pending: gwyneth
+  pending (1): gwyneth
+  coordinated: {gwyneth, chris}
+  pending: amy
+  pending: ben
+  pending (2): amy, ben
+  bye: 2 queries coordinated, 2 still pending
+
 Tracing writes a Chrome trace_event JSON array: solver phases nest
 under the top-level solve span, and every database probe is a span.
 
@@ -179,3 +204,15 @@ block with probe-latency percentiles from the Obs histograms.
   5
   $ grep -c '"probe_p99_us"' bench.json
   4
+
+The online-scaling ablation races the two engine modes over a growing
+pool and reports per-submit latency percentiles as a series.
+
+  $ entangle-bench --fast --figures-only --ablation online-scaling --json scaling.json > /dev/null
+  $ grep -o '"ablation_online_scaling"' scaling.json
+  "ablation_online_scaling"
+  $ grep -o '"mode", "pool", "p50_us", "p95_us", "total_ms"' scaling.json
+  "mode", "pool", "p50_us", "p95_us", "total_ms"
+  $ grep -o '"full-rebuild"\|"incremental"' scaling.json | sort | uniq -c | sed 's/^ *//'
+  2 "full-rebuild"
+  2 "incremental"

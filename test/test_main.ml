@@ -9,6 +9,7 @@ let () =
       ("algorithms", Test_algorithms.suite);
       ("single-connected", Test_single_connected.suite);
       ("extensions", Test_extensions.suite);
+      ("online-incremental", Test_online_incremental.suite);
       ("containment", Test_containment.suite);
       ("proposition-1", Test_prop1.suite);
       ("sat", Test_sat.suite);
