@@ -1,0 +1,265 @@
+(* Bench regression gate.
+
+   Compares a fresh `entangle-bench --json` dump against the committed
+   baseline (BENCH_eval.json) and fails when any timing column of any
+   series got more than --tolerance slower (by median over the series'
+   rows).  Timing columns are recognized by their `_ms`/`_us`/`_ns`
+   suffix; shape columns (sizes, counts, speedups) are ignored, and so
+   are columns whose baseline median is below a per-unit noise floor —
+   sub-millisecond medians regress by scheduler jitter alone.
+
+     gate.exe --baseline BENCH_eval.json --fresh bench.json [--tolerance 0.25]
+
+   The parser below covers exactly the JSON Series.to_json emits
+   (objects, arrays, numbers, strings); it is not a general-purpose
+   JSON reader. *)
+
+type json =
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char b '"'
+        | Some '\\' -> Buffer.add_char b '\\'
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some 'u' ->
+          (* \uXXXX: the emitter only writes these for control bytes;
+             keep the raw escape, the gate never compares them. *)
+          for _ = 1 to 4 do
+            advance ()
+          done
+        | _ -> fail "bad escape");
+        advance ();
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (
+        advance ();
+        Obj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (members [])
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (
+        advance ();
+        List [])
+      else
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        List (elements [])
+    | Some ('0' .. '9' | '-') -> Num (parse_number ())
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ------------------------- Series access -------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let load path =
+  match parse_json (read_file path) with
+  | Obj series -> series
+  | _ -> raise (Parse_error (path ^ ": top level is not an object"))
+
+let strings = function
+  | List vs ->
+    List.map (function Str s -> s | Num f -> string_of_float f | _ -> "") vs
+  | _ -> []
+
+let columns_of = function
+  | Obj fields -> (
+    match List.assoc_opt "columns" fields with
+    | Some c -> strings c
+    | None -> [])
+  | _ -> []
+
+let rows_of = function
+  | Obj fields -> (
+    match List.assoc_opt "rows" fields with
+    | Some (List rows) -> List.map (function List r -> r | _ -> []) rows
+    | _ -> [])
+  | _ -> []
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> None
+  | sorted -> Some (List.nth sorted (List.length sorted / 2))
+
+let column_median series name =
+  let columns = columns_of series in
+  let idx = ref (-1) in
+  List.iteri (fun i c -> if c = name then idx := i) columns;
+  if !idx < 0 then None
+  else
+    rows_of series
+    |> List.filter_map (fun row ->
+           match List.nth_opt row !idx with Some (Num f) -> Some f | _ -> None)
+    |> median
+
+(* Sub-noise-floor medians are skipped: a 25% "regression" of 40
+   microseconds is scheduler jitter, not a slowdown. *)
+let timing_column name =
+  let suffixed s = String.length name > String.length s
+    && String.sub name (String.length name - String.length s) (String.length s) = s
+  in
+  if suffixed "_ms" then Some 1.0
+  else if suffixed "_us" then Some 1000.0
+  else if suffixed "_ns" then Some 1_000_000.0
+  else None
+
+let () =
+  let baseline_path = ref "BENCH_eval.json" in
+  let fresh_path = ref "" in
+  let tolerance = ref 0.25 in
+  let spec =
+    [
+      ("--baseline", Arg.Set_string baseline_path, "FILE  committed baseline");
+      ("--fresh", Arg.Set_string fresh_path, "FILE  freshly generated dump");
+      ("--tolerance", Arg.Set_float tolerance,
+       "T  fail when median(fresh) > median(baseline) * (1+T)  (default 0.25)");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "gate.exe --baseline BENCH_eval.json --fresh bench.json [--tolerance T]";
+  if !fresh_path = "" then (
+    prerr_endline "gate.exe: --fresh is required";
+    exit 2);
+  let baseline = load !baseline_path and fresh = load !fresh_path in
+  let failures = ref [] in
+  let checked = ref 0 in
+  List.iter
+    (fun (name, base_series) ->
+      match List.assoc_opt name fresh with
+      | None ->
+        failures := Printf.sprintf "%s: series missing from fresh run" name
+                    :: !failures
+      | Some fresh_series ->
+        List.iter
+          (fun col ->
+            match timing_column col with
+            | None -> ()
+            | Some floor -> (
+              match
+                (column_median base_series col, column_median fresh_series col)
+              with
+              | Some b, Some f when b >= floor ->
+                incr checked;
+                let ratio = f /. b in
+                Printf.printf "  %-32s %-14s base %12.3f  fresh %12.3f  %+6.1f%%\n"
+                  name col b f ((ratio -. 1.0) *. 100.0);
+                if ratio > 1.0 +. !tolerance then
+                  failures :=
+                    Printf.sprintf
+                      "%s.%s slowed down %.1f%% (median %.3f -> %.3f, \
+                       tolerance %.0f%%)"
+                      name col
+                      ((ratio -. 1.0) *. 100.0)
+                      b f (!tolerance *. 100.0)
+                    :: !failures
+              | Some b, Some _ ->
+                Printf.printf "  %-32s %-14s base %12.3f  (below noise floor, \
+                               skipped)\n"
+                  name col b
+              | None, _ | _, None -> ()))
+          (columns_of base_series))
+    baseline;
+  Printf.printf "bench gate: %d timing medians checked against %s\n" !checked
+    !baseline_path;
+  match List.rev !failures with
+  | [] -> print_endline "bench gate: OK"
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "bench gate: FAIL %s\n" f) fs;
+    exit 1

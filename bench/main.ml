@@ -12,8 +12,8 @@
 let usage =
   "main.exe [--fast] [--figure N]... [--ablation \
    evaluator|preprocess|selection|minimize|realistic|parallel|online|\
-   online-scaling|observability|resilience]... [--bechamel] [--figures-only] \
-   [--json FILE]"
+   online-scaling|parallel-scaling|observability|resilience]... [--bechamel] \
+   [--figures-only] [--json FILE]"
 
 let () =
   let figures = ref [] in
@@ -94,6 +94,9 @@ let () =
         if fast then
           Ablations.online_scaling ~rows:1_000 ~pools:[ 200; 1_000 ] ()
         else Ablations.online_scaling ()
+      | "parallel-scaling" ->
+        if fast then Ablations.parallel_scaling ~rows:1_000 ()
+        else Ablations.parallel_scaling ()
       | "observability" ->
         if fast then Ablations.observability ~rows:5_000 ~n:15 ~repeats:3 ()
         else Ablations.observability ()

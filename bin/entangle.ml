@@ -35,7 +35,7 @@ let handle_syntax f =
 
 (* ------------------------------ solve ----------------------------- *)
 
-type algorithm = Scc | Gupta | Single_connected | Brute
+type algorithm = Scc | Gupta | Single_connected | Brute | Consistent
 
 let algorithm_conv =
   let parse = function
@@ -43,6 +43,7 @@ let algorithm_conv =
     | "gupta" -> Ok Gupta
     | "single-connected" -> Ok Single_connected
     | "brute" -> Ok Brute
+    | "consistent" -> Ok Consistent
     | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
   in
   let print ppf a =
@@ -51,7 +52,8 @@ let algorithm_conv =
       | Scc -> "scc"
       | Gupta -> "gupta"
       | Single_connected -> "single-connected"
-      | Brute -> "brute")
+      | Brute -> "brute"
+      | Consistent -> "consistent")
   in
   Arg.conv (parse, print)
 
@@ -60,17 +62,23 @@ let print_degraded = function
   | Some d ->
     Format.printf "DEGRADED: %a@." Resilient.pp_degradation d
 
-let print_solution db queries solution stats show_stats =
+let print_stats ?domains stats =
+  match domains with
+  | None -> Format.printf "stats: %a@." Coordination.Stats.pp stats
+  | Some d ->
+    Format.printf "stats: %a domains=%d@." Coordination.Stats.pp stats d
+
+let print_solution ?domains db queries solution stats show_stats =
   match solution with
   | None ->
     print_endline "no coordinating set exists";
-    if show_stats then Format.printf "stats: %a@." Coordination.Stats.pp stats
+    if show_stats then print_stats ?domains stats
   | Some s ->
     Format.printf "%a@." (Entangled.Solution.pp queries) s;
     (match Entangled.Solution.validate db queries s with
     | Ok () -> ()
     | Error m -> Format.printf "WARNING: solution failed validation: %s@." m);
-    if show_stats then Format.printf "stats: %a@." Coordination.Stats.pp stats
+    if show_stats then print_stats ?domains stats
 
 let solve_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -82,13 +90,34 @@ let solve_cmd =
           ~doc:
             "Evaluation algorithm: $(b,scc) (Section 4, safe sets), \
              $(b,gupta) (baseline, safe+unique), $(b,single-connected) \
-             (Theorem 3) or $(b,brute) (exact, tiny inputs only).")
+             (Theorem 3), $(b,consistent) (Section 5 restricted form; the \
+             program must match it) or $(b,brute) (exact, tiny inputs \
+             only).")
   in
   let first =
     Arg.(
       value & flag
       & info [ "first" ]
           ~doc:"Return the first coordinating set found instead of a largest one.")
+  in
+  let parallel =
+    Arg.(
+      value & flag
+      & info [ "parallel" ]
+          ~doc:
+            "Shard the batch across its coordination-graph components and \
+             solve them on a pool of domains (algorithms $(b,scc), \
+             $(b,gupta) and $(b,consistent)); output is identical to the \
+             sequential run.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Domain-pool size for $(b,--parallel); defaults to the \
+             machine's recommended domain count.")
   in
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print probe counts and timings.")
@@ -191,11 +220,21 @@ let solve_cmd =
   (* The solver body computes an exit code instead of exiting so an
      installed trace sink always writes its trailer (a Chrome trace
      without the closing bracket is not valid JSON). *)
-  let run file algorithm first stats dot explain trace trace_format metrics
-      deadline_ms max_probes max_tuples probe_timeout_ms max_attempts
-      fault_rate fault_seed =
+  let run file algorithm first parallel domains stats dot explain trace
+      trace_format metrics deadline_ms max_probes max_tuples probe_timeout_ms
+      max_attempts fault_rate fault_seed =
     handle_syntax @@ fun () ->
     let db, input = load file in
+    (* The resolved pool size, for the stats line; [None] when running
+       sequentially so the line matches the sequential run exactly. *)
+    let pool_domains =
+      if not parallel then None
+      else
+        Some
+          (match domains with
+          | Some d -> max 1 d
+          | None -> Coordination.Executor.default_domains ())
+    in
     if metrics then Obs.set_metrics true;
     let guard =
       if
@@ -255,11 +294,17 @@ let solve_cmd =
             if first then Coordination.Scc_algo.First_found
             else Coordination.Scc_algo.Largest
           in
-          match Coordination.Scc_algo.solve ~selection db input with
+          let result =
+            match pool_domains with
+            | None -> Coordination.Scc_algo.solve ~selection db input
+            | Some d ->
+              Coordination.Executor.solve_scc ~selection ~domains:d db input
+          in
+          match result with
           | Error (Coordination.Scc_algo.Not_safe ws) ->
             Printf.eprintf
               "the query set is not safe (%d ambiguous postconditions); try \
-               the consistent-coordination API or `--algorithm brute`\n"
+               `--algorithm consistent` or `--algorithm brute`\n"
               (List.length ws);
             1
           | Ok outcome ->
@@ -269,22 +314,63 @@ let solve_cmd =
               | None -> false
             in
             write_dot outcome.queries outcome.graph in_solution;
-            print_solution db outcome.queries outcome.solution outcome.stats
-              stats;
+            print_solution ?domains:pool_domains db outcome.queries
+              outcome.solution outcome.stats stats;
             print_degraded outcome.degraded;
             0)
         | Gupta -> (
-          match Coordination.Gupta.solve db input with
+          let result =
+            match pool_domains with
+            | None -> Coordination.Gupta.solve db input
+            | Some d -> Coordination.Executor.solve_gupta ~domains:d db input
+          in
+          match result with
           | Error e ->
             Format.eprintf "baseline not applicable: %a@."
               (Coordination.Gupta.pp_error (Entangled.Query.rename_set input))
               e;
             1
           | Ok outcome ->
-            print_solution db outcome.queries outcome.solution outcome.stats
-              stats;
+            print_solution ?domains:pool_domains db outcome.queries
+              outcome.solution outcome.stats stats;
             print_degraded outcome.degraded;
             0)
+        | Consistent -> (
+          match Coordination.Consistent_query.of_entangled db input with
+          | Error m ->
+            Printf.eprintf
+              "not a Section 5 consistent-coordination program: %s\n" m;
+            1
+          | Ok (config, qs) -> (
+            let result =
+              match pool_domains with
+              | None -> Coordination.Consistent.solve db config qs
+              | Some d ->
+                Coordination.Executor.solve_consistent ~domains:d db config qs
+            in
+            match result with
+            | Error e ->
+              Format.eprintf "consistent coordination failed: %a@."
+                Coordination.Consistent.pp_error e;
+              1
+            | Ok outcome ->
+              (match Coordination.Consistent.to_solution db outcome with
+              | Some (queries, s) ->
+                print_solution ?domains:pool_domains db queries (Some s)
+                  outcome.stats stats
+              | None ->
+                print_solution ?domains:pool_domains db [||] None
+                  outcome.stats stats);
+              print_degraded outcome.degraded;
+              0))
+        | Single_connected when parallel ->
+          Printf.eprintf
+            "--parallel supports scc, gupta and consistent only\n";
+          1
+        | Brute when parallel ->
+          Printf.eprintf
+            "--parallel supports scc, gupta and consistent only\n";
+          1
         | Single_connected -> (
           match Coordination.Single_connected.solve db input with
           | Error e ->
@@ -346,9 +432,9 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc)
     Cmdliner.Term.(
-      const run $ file $ algorithm $ first $ stats $ dot $ explain $ trace
-      $ trace_format $ metrics $ deadline_ms $ max_probes $ max_tuples
-      $ probe_timeout_ms $ max_attempts $ fault_rate $ fault_seed)
+      const run $ file $ algorithm $ first $ parallel $ domains $ stats $ dot
+      $ explain $ trace $ trace_format $ metrics $ deadline_ms $ max_probes
+      $ max_tuples $ probe_timeout_ms $ max_attempts $ fault_rate $ fault_seed)
 
 (* ------------------------------ check ----------------------------- *)
 

@@ -182,6 +182,228 @@ let to_entangled config q =
 let compile_set config qs =
   Query.rename_set (List.map (to_entangled config) qs)
 
+(* Inverse of [to_entangled], up to variable naming: recognize the
+   Section-5 shape in a parsed program so the CLI can route it into the
+   consistent-coordination solver.  Structure, not names, drives the
+   match — user programs pick their own variable names. *)
+exception Reject of string
+
+let of_entangled db queries =
+  let reject fmt = Printf.ksprintf (fun m -> raise (Reject m)) fmt in
+  try
+    if queries = [] then reject "empty query list";
+    let parsed =
+      List.map
+        (fun (q : Query.t) ->
+          let name = if q.Query.name = "" then "(unnamed)" else q.Query.name in
+          let head =
+            match q.head with
+            | [ a ] -> a
+            | _ -> reject "%s: head must be a single answer atom" name
+          in
+          let answer = head.Cq.rel in
+          let x, user =
+            match head.Cq.args with
+            | [| Term.Var x; Term.Const u |] -> (x, u)
+            | _ ->
+              reject "%s: head must be %s(<key var>, <user constant>)" name
+                answer
+          in
+          let posts =
+            List.map
+              (fun (p : Cq.atom) ->
+                if p.Cq.rel <> answer then
+                  reject "%s: postcondition over %s but head over %s" name
+                    p.Cq.rel answer;
+                match p.Cq.args with
+                | [| Term.Var y; t |] when y <> x -> (y, t)
+                | _ ->
+                  reject "%s: postconditions must be %s(<partner key var>, \
+                          <partner term>)"
+                    name answer)
+              q.post
+          in
+          let ys = List.map fst posts in
+          if List.length (List.sort_uniq String.compare ys) <> List.length ys
+          then reject "%s: postconditions reuse a partner key variable" name;
+          let own_atom, rest =
+            match
+              List.partition
+                (fun (a : Cq.atom) ->
+                  Array.length a.Cq.args > 0 && a.Cq.args.(0) = Term.Var x)
+                q.body.Cq.atoms
+            with
+            | [ a ], rest -> (a, rest)
+            | atoms, _ ->
+              reject
+                "%s: expected exactly one body atom keyed by the head \
+                 variable, found %d"
+                name (List.length atoms)
+          in
+          let s_rel = own_atom.Cq.rel in
+          let d = Array.length own_atom.Cq.args - 1 in
+          if d < 1 then
+            reject "%s: %s needs a key column and at least one attribute" name
+              s_rel;
+          let partner_atoms = Hashtbl.create 8 in
+          let friend_rels = Hashtbl.create 4 in
+          List.iter
+            (fun (a : Cq.atom) ->
+              match a.Cq.args with
+              | [| Term.Const u; Term.Var f |]
+                when Value.equal u user
+                     && List.exists (fun (_, t) -> t = Term.Var f) posts ->
+                if Hashtbl.mem friend_rels f then
+                  reject "%s: partner variable %s bound by two relationship \
+                          atoms"
+                    name f;
+                Hashtbl.add friend_rels f a.Cq.rel
+              | args
+                when a.Cq.rel = s_rel && Array.length args = d + 1 -> (
+                match args.(0) with
+                | Term.Var y when List.mem_assoc y posts ->
+                  if Hashtbl.mem partner_atoms y then
+                    reject "%s: two %s atoms keyed by %s" name s_rel y;
+                  Hashtbl.add partner_atoms y a
+                | _ ->
+                  reject "%s: %s atom keyed by neither the user nor a \
+                          partner"
+                    name s_rel)
+              | _ ->
+                reject "%s: body atom over %s outside the Section 5 shape"
+                  name a.Cq.rel)
+            rest;
+          let own_terms = Array.init d (fun j -> own_atom.Cq.args.(j + 1)) in
+          let own_vars = Hashtbl.create 4 in
+          Array.iter
+            (function
+              | Term.Var v ->
+                if v = x || Hashtbl.mem own_vars v then
+                  reject "%s: own attribute variables must be distinct" name;
+                Hashtbl.add own_vars v ()
+              | Term.Const _ -> ())
+            own_terms;
+          (* Occurrence counts across partner attribute slots, for the
+             freshness check behind [Free]. *)
+          let occurs = Hashtbl.create 8 in
+          Hashtbl.iter
+            (fun _ (a : Cq.atom) ->
+              for j = 1 to d do
+                match a.Cq.args.(j) with
+                | Term.Var v ->
+                  Hashtbl.replace occurs v
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt occurs v))
+                | Term.Const _ -> ()
+              done)
+            partner_atoms;
+          let partners =
+            List.map
+              (fun (y, t) ->
+                let atom =
+                  match Hashtbl.find_opt partner_atoms y with
+                  | Some a -> a
+                  | None ->
+                    reject "%s: no %s atom for partner variable %s" name s_rel
+                      y
+                in
+                let who =
+                  match t with
+                  | Term.Const c -> Named c
+                  | Term.Var f -> (
+                    match Hashtbl.find_opt friend_rels f with
+                    | Some rel -> Any_from rel
+                    | None ->
+                      reject
+                        "%s: partner variable %s has no relationship atom \
+                         %s(%s, %s)"
+                        name f "<rel>" (Value.to_string user) f)
+                in
+                let spec =
+                  Array.init d (fun j ->
+                      let pt = atom.Cq.args.(j + 1) in
+                      if Term.equal pt own_terms.(j) then Same
+                      else
+                        match pt with
+                        | Term.Const v -> Fixed v
+                        | Term.Var b ->
+                          if
+                            b = x || Hashtbl.mem own_vars b
+                            || List.mem_assoc b posts
+                            || Hashtbl.mem friend_rels b
+                            || Hashtbl.find occurs b > 1
+                          then
+                            reject
+                              "%s: partner attribute variable %s is not \
+                               fresh"
+                              name b
+                          else Free)
+                in
+                (who, spec))
+              posts
+          in
+          (name, user, answer, s_rel, d, own_terms, partners))
+        queries
+    in
+    let _, _, answer0, s_rel0, d0, _, _ = List.hd parsed in
+    List.iter
+      (fun (name, _, answer, s_rel, d, _, _) ->
+        if answer <> answer0 then
+          reject "%s: answer relation %s, others use %s" name answer answer0;
+        if s_rel <> s_rel0 || d <> d0 then
+          reject "%s: thing relation %s/%d, others use %s/%d" name s_rel d
+            s_rel0 d0)
+      parsed;
+    let s_schema =
+      match Database.relation_opt db s_rel0 with
+      | Some r -> Relation.schema r
+      | None -> reject "thing relation %s is not in the database" s_rel0
+    in
+    if Schema.arity s_schema <> d0 + 1 then
+      reject "%s has arity %d in the database but %d in the queries" s_rel0
+        (Schema.arity s_schema) (d0 + 1);
+    let coord_attrs =
+      List.filter
+        (fun j ->
+          List.for_all
+            (fun (_, _, _, _, _, _, partners) ->
+              List.for_all (fun (_, spec) -> spec.(j) = Same) partners)
+            parsed)
+        (List.init d0 Fun.id)
+    in
+    let friends =
+      List.find_map
+        (fun (_, _, _, _, _, _, partners) ->
+          List.find_map
+            (fun (p, _) ->
+              match p with Any_from rel -> Some rel | _ -> None)
+            partners)
+        parsed
+      |> Option.value ~default:"friends"
+    in
+    let config = make_config ~s_schema ~friends ~answer:answer0 ~coord_attrs in
+    let ts =
+      List.map
+        (fun (name, user, _, _, _, own_terms, partners) ->
+          let own =
+            Array.map
+              (function Term.Const v -> Exact v | Term.Var _ -> Any)
+              own_terms
+          in
+          let q = { user; own; partners } in
+          if not (is_consistent config q) then
+            reject
+              "%s: not A-consistent for the common coordination attributes \
+               {%s} — a partner coordinates (or is pinned) on an attribute \
+               other queries leave free"
+              name
+              (String.concat ","
+                 (List.map string_of_int config.coord_attrs));
+          q)
+        parsed
+    in
+    Ok (config, ts)
+  with Reject m -> Error m
+
 let pp config ppf q =
   Format.fprintf ppf "@[<v>user %a over %s:" Value.pp q.user
     (Schema.name config.s_schema);

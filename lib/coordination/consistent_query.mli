@@ -96,4 +96,18 @@ val to_entangled : config -> t -> Query.t
 val compile_set : config -> t list -> Query.t array
 (** [to_entangled] on each query, renamed apart with {!Query.rename_set}. *)
 
+val of_entangled :
+  Database.t -> Query.t list -> (config * t list, string) result
+(** Inverse of {!to_entangled}, up to variable naming: recognizes a
+    parsed (un-renamed) program in the Section-5 shape — one head atom
+    [ans(x, User)], one body atom keyed by [x] over a single thing
+    relation [S], per postcondition one [S] atom keyed by its partner
+    variable and (for friend partners) one binary relationship atom
+    [rel(User, f)] — and rebuilds the typed queries plus a shared
+    {!config}.  Coordination attributes are inferred as the attributes
+    on which {e every} partner of {e every} query agrees with its user;
+    each query must then be A-consistent for that common set.  The
+    thing relation's schema is taken from [db].  [Error] carries a
+    human-readable reason naming the offending query. *)
+
 val pp : config -> Format.formatter -> t -> unit

@@ -1,129 +1,6 @@
-open Relational
-
-(* Split [xs] into [k] contiguous chunks (some possibly empty). *)
-let chunk k xs =
-  let n = List.length xs in
-  let base = n / k and extra = n mod k in
-  let rec take m xs acc =
-    if m = 0 then (List.rev acc, xs)
-    else
-      match xs with
-      | [] -> (List.rev acc, [])
-      | x :: rest -> take (m - 1) rest (x :: acc)
-  in
-  let rec go i xs acc =
-    if i = k then List.rev acc
-    else
-      let size = base + if i < extra then 1 else 0 in
-      let c, rest = take size xs [] in
-      go (i + 1) rest (c :: acc)
-  in
-  go 0 xs []
-
+(* Retained as the historical entry point for multi-domain consistent
+   coordination; the machinery now lives in [Executor], which schedules
+   one task per value on the work-stealing pool instead of static
+   contiguous chunks. *)
 let solve ?domains db config input =
-  Obs.with_span
-    ~args:(fun () -> [ ("queries", Obs.Int (List.length input)) ])
-    "parallel.solve"
-  @@ fun () ->
-  let stats = Stats.create () in
-  let t_start = Stats.now_ns () in
-  let counters0 = Database.snapshot_counters db in
-  let t_graph = Stats.now_ns () in
-  match
-    Obs.with_span "parallel.prepare" (fun () ->
-        Consistent.prepare db config input)
-  with
-  | exception Resilient.Abort reason ->
-    stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
-    Stats.add_counters stats
-      (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
-    Ok (Consistent.degraded_outcome config input stats reason)
-  | Error e -> Error e
-  | Ok p ->
-    stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
-    let vs = Consistent.values p in
-    let requested =
-      match domains with
-      | Some d -> max 1 d
-      | None -> max 1 (Domain.recommended_domain_count ())
-    in
-    let k = max 1 (min requested (List.length vs)) in
-    (* Each chunk returns its candidates (in order) and cleaning-round
-       total; survivors is pure, so domains share [p] read-only. *)
-    let work chunk () =
-      List.map
-        (fun v ->
-          let members, rounds = Consistent.survivors p v in
-          (v, members, rounds))
-        chunk
-    in
-    let t_loop = Stats.now_ns () in
-    (* The span lives on the parent domain only: Obs state is not
-       domain-safe, so spawned workers run uninstrumented.  Every
-       spawned domain is joined even when the parent's own chunk — or a
-       sibling — raises: an unjoined domain would leak (or deadlock at
-       exit), and an exception in [mine] before the joins used to do
-       exactly that. *)
-    let results =
-      Obs.with_span
-        ~args:(fun () ->
-          [ ("domains", Obs.Int k); ("values", Obs.Int (List.length vs)) ])
-        "parallel.values_loop"
-        (fun () ->
-          match chunk k vs with
-          | [] -> []
-          | first :: rest ->
-            let handles = List.map (fun c -> Domain.spawn (work c)) rest in
-            let mine = try Ok (work first ()) with e -> Error e in
-            let joined =
-              List.map
-                (fun h -> try Ok (Domain.join h) with e -> Error e)
-                handles
-            in
-            mine :: joined)
-    in
-    stats.unify_ns <- Int64.sub (Stats.now_ns ()) t_loop;
-    let first_error =
-      List.find_map (function Error e -> Some e | Ok _ -> None) results
-    in
-    match first_error with
-    | Some (Resilient.Abort reason) ->
-      (* Cannot happen today — the per-value kernel is pure — but a
-         future probing kernel degrades instead of crashing. *)
-      stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
-      Stats.add_counters stats
-        (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
-      Ok (Consistent.degraded_outcome config input stats reason)
-    | Some e -> Error (Consistent.Worker_crashed (Printexc.to_string e))
-    | None ->
-    let flat =
-      List.concat
-        (List.map (function Ok r -> r | Error _ -> assert false) results)
-    in
-    let candidates =
-      List.map (fun (v, members, _) -> (v, List.length members)) flat
-    in
-    List.iter
-      (fun (_, _, rounds) ->
-        stats.cleaning_rounds <- stats.cleaning_rounds + rounds)
-      flat;
-    stats.candidates <- List.length flat;
-    let best =
-      List.fold_left
-        (fun best (v, members, _) ->
-          let size = List.length members in
-          match best with
-          | Some (_, _, best_size) when best_size >= size -> best
-          | _ when size > 0 -> Some (v, members, size)
-          | _ -> best)
-        None flat
-      |> Option.map (fun (v, members, _) -> (v, members))
-    in
-    let outcome =
-      Obs.with_span "parallel.ground" (fun () ->
-          Consistent.finalize db p ~candidates ~best stats)
-    in
-    outcome.stats.Stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
-    Stats.add_counters outcome.stats
-      (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
-    Ok outcome
+  Executor.solve_consistent ?domains db config input

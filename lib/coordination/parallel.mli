@@ -10,6 +10,11 @@
     grounding) stays on the calling domain — the shared store is not
     touched concurrently.
 
+    Since the sharded batch executor landed this is a thin alias of
+    {!Executor.solve_consistent}, which schedules one task per value on
+    the work-stealing pool; the CLI reaches it through
+    [solve --algorithm consistent --parallel].
+
     Results are identical to {!Consistent.solve} with [`Largest]
     selection: candidates come back in the same deterministic value
     order and ties break the same way. *)

@@ -42,6 +42,8 @@ type Obs.payload += Scc_event of event
 let names (queries : Query.t array) is =
   String.concat "," (List.map (fun i -> queries.(i).Query.name) is)
 
+let emit name args e = Obs.event ~args ~payload:(Scc_event e) name
+
 (* Safety restricted to live queries: a live postcondition atom must have
    at most one live candidate head. *)
 let unsafe_posts_masked (graph : Coordination_graph.t) alive =
@@ -77,27 +79,25 @@ let select selection queries candidates =
       in
       Some best)
 
-let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
-    ?(minimize = false) db input =
-  Obs.with_span
-    ~args:(fun () -> [ ("queries", Obs.Int (List.length input)) ])
-    "scc.solve"
-  @@ fun () ->
-  let emit name args e = Obs.event ~args ~payload:(Scc_event e) name in
-  let stats = Stats.create () in
-  let t_start = Stats.now_ns () in
-  let counters0 = Database.snapshot_counters db in
-  let queries = Query.rename_set input in
+(* ------------------------------------------------------------------ *)
+(* Phase 1: database-free analysis                                    *)
+(* ------------------------------------------------------------------ *)
+
+type analysis = {
+  an_queries : Query.t array;
+  an_graph : Coordination_graph.t;
+  an_alive : bool array;
+  an_scc : Graphs.Scc.result;
+  an_cond : Graphs.Digraph.t;
+}
+
+(* Graph construction, preprocessing, safety check and SCC condensation
+   on already-renamed queries (Figure 6 measures exactly this).  Pure
+   with respect to the database, so the executor runs it once on the
+   orchestrating domain and shares the result read-only with every
+   shard. *)
+let analyze ?(preprocess = true) queries =
   let n = Array.length queries in
-  let finish result =
-    stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
-    Stats.add_counters stats
-      (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
-    result
-  in
-  (* Phase 1: graph construction, preprocessing, SCCs (Figure 6 measures
-     exactly this span). *)
-  let t_graph = Stats.now_ns () in
   let graph =
     Obs.with_span "scc.graph" (fun () -> Coordination_graph.build queries)
   in
@@ -111,10 +111,7 @@ let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
             (fun () -> [ ("dropped", Obs.Str (names queries dead)) ])
             (Pruned dead));
   let unsafe = unsafe_posts_masked graph alive in
-  if unsafe <> [] then begin
-    stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
-    finish (Error (Not_safe unsafe))
-  end
+  if unsafe <> [] then Error (Not_safe unsafe)
   else begin
     let scc, condensation =
       Obs.with_span "scc.condense" (fun () ->
@@ -123,6 +120,146 @@ let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
           in
           (scc, Graphs.Scc.condensation graph.graph scc))
     in
+    Ok
+      {
+        an_queries = queries;
+        an_graph = graph;
+        an_alive = alive;
+        an_scc = scc;
+        an_cond = condensation;
+      }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: per-component probing                                     *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  cx_db : Database.t;
+  cx_minimize : bool;
+  cx_stats : Stats.t;
+  (* Failure/coverage state keyed by SCC id.  Sound under sharding
+     because condensation edges never cross weakly-connected components:
+     a shard's context sees every predecessor-relevant entry. *)
+  cx_failed : (int, unit) Hashtbl.t;
+  cx_covered : (int, int list) Hashtbl.t;
+}
+
+let make_ctx ?(minimize = false) ~stats db =
+  {
+    cx_db = db;
+    cx_minimize = minimize;
+    cx_stats = stats;
+    cx_failed = Hashtbl.create 32;
+    cx_covered = Hashtbl.create 32;
+  }
+
+(* One component, in reverse topological order relative to its
+   predecessors in the same ctx: probe the candidate set R(q), record
+   failure/coverage, return the candidate when the combined query is
+   satisfiable.  Raises [Resilient.Abort] through (budget aborts are the
+   caller's policy decision). *)
+let probe_component ctx a c =
+  let queries = a.an_queries in
+  let scc = a.an_scc in
+  let stats = ctx.cx_stats in
+  let successors = Graphs.Digraph.successors a.an_cond c in
+  if List.exists (fun s -> Hashtbl.mem ctx.cx_failed s) successors then begin
+    Hashtbl.replace ctx.cx_failed c ();
+    emit "scc.skipped"
+      (fun () -> [ ("component", Obs.Str (names queries scc.members.(c))) ])
+      (Skipped { component = scc.members.(c) });
+    None
+  end
+  else begin
+    let members =
+      List.sort_uniq Int.compare
+        (scc.members.(c)
+        @ List.concat_map
+            (fun s ->
+              Option.value ~default:[] (Hashtbl.find_opt ctx.cx_covered s))
+            successors)
+    in
+    let unified, unify_ns =
+      Stats.timed (fun () ->
+          Obs.with_span
+            ~args:(fun () -> [ ("members", Obs.Str (names queries members)) ])
+            "scc.unify"
+            (fun () -> Combine.unify_set a.an_graph ~members))
+    in
+    stats.unify_ns <- Int64.add stats.unify_ns unify_ns;
+    match unified with
+    | Error failure ->
+      Hashtbl.replace ctx.cx_failed c ();
+      emit "scc.unify_failed"
+        (fun () -> [ ("component", Obs.Str (names queries scc.members.(c))) ])
+        (Unify_failed { component = scc.members.(c); failure });
+      None
+    | Ok subst -> (
+      let witness, ground_ns =
+        Stats.timed (fun () ->
+            Obs.with_span
+              ~args:(fun () -> [ ("members", Obs.Str (names queries members)) ])
+              "scc.ground"
+              (fun () ->
+                Ground.solve ~minimize:ctx.cx_minimize ctx.cx_db queries
+                  ~members subst))
+      in
+      stats.ground_ns <- Int64.add stats.ground_ns ground_ns;
+      stats.candidates <- stats.candidates + 1;
+      if Obs.tracing () then
+        emit "scc.probed"
+          (fun () ->
+            [
+              ("members", Obs.Str (names queries members));
+              ("witness", Obs.Bool (Option.is_some witness));
+            ])
+          (Probed
+             {
+               component = scc.members.(c);
+               members;
+               body = Combine.combined_body a.an_graph ~members subst;
+               witness;
+             });
+      match witness with
+      | None ->
+        Hashtbl.replace ctx.cx_failed c ();
+        None
+      | Some assignment ->
+        Hashtbl.replace ctx.cx_covered c members;
+        Some { covered = members; assignment })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The sequential solver                                              *)
+(* ------------------------------------------------------------------ *)
+
+let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
+    ?(minimize = false) db input =
+  Obs.with_span
+    ~args:(fun () -> [ ("queries", Obs.Int (List.length input)) ])
+    "scc.solve"
+  @@ fun () ->
+  let stats = Stats.create () in
+  let t_start = Stats.now_ns () in
+  let counters0 = Database.snapshot_counters db in
+  let queries = Query.rename_set input in
+  let finish result =
+    stats.total_ns <- Int64.sub (Stats.now_ns ()) t_start;
+    Stats.add_counters stats
+      (Counters.diff ~before:counters0 ~after:(Database.snapshot_counters db));
+    result
+  in
+  (* Phase 1: graph construction, preprocessing, SCCs (Figure 6 measures
+     exactly this span). *)
+  let t_graph = Stats.now_ns () in
+  match analyze ~preprocess queries with
+  | Error e ->
+    stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
+    finish (Error e)
+  | Ok a ->
+    let graph = a.an_graph in
+    let scc = a.an_scc in
     stats.graph_ns <- Int64.sub (Stats.now_ns ()) t_graph;
     if graph_only then
       finish
@@ -136,103 +273,49 @@ let solve ?(selection = Largest) ?(preprocess = true) ?(graph_only = false)
              degraded = None;
            })
     else begin
-    (* Phase 2: process components in reverse topological order.  Our SCC
-       ids are numbered sinks-first, so ascending id order is exactly
-       that. *)
-    let failed = Array.make (max 1 scc.count) false in
-    let covered = Array.make (max 1 scc.count) [] in
-    let candidates = ref [] in
-    let degraded = ref None in
-    let exception Done in
-    (try
-    for c = 0 to scc.count - 1 do
-    (* A guard abort mid-component keeps every candidate already probed:
-       components from [c] on are reported unprobed, the prefix stands. *)
-    try
-      let successors = Graphs.Digraph.successors condensation c in
-      if List.exists (fun s -> failed.(s)) successors then begin
-        failed.(c) <- true;
-        emit "scc.skipped"
-          (fun () -> [ ("component", Obs.Str (names queries scc.members.(c))) ])
-          (Skipped { component = scc.members.(c) })
-      end
-      else begin
-        let members =
-          List.sort_uniq Int.compare
-            (scc.members.(c)
-            @ List.concat_map (fun s -> covered.(s)) successors)
-        in
-        let unified, unify_ns =
-          Stats.timed (fun () ->
-              Obs.with_span
-                ~args:(fun () ->
-                  [ ("members", Obs.Str (names queries members)) ])
-                "scc.unify"
-                (fun () -> Combine.unify_set graph ~members))
-        in
-        stats.unify_ns <- Int64.add stats.unify_ns unify_ns;
-        match unified with
-        | Error failure ->
-          failed.(c) <- true;
-          emit "scc.unify_failed"
-            (fun () ->
-              [ ("component", Obs.Str (names queries scc.members.(c))) ])
-            (Unify_failed { component = scc.members.(c); failure })
-        | Ok subst -> (
-          let witness, ground_ns =
-            Stats.timed (fun () ->
-                Obs.with_span
-                  ~args:(fun () ->
-                    [ ("members", Obs.Str (names queries members)) ])
-                  "scc.ground"
-                  (fun () -> Ground.solve ~minimize db queries ~members subst))
-          in
-          stats.ground_ns <- Int64.add stats.ground_ns ground_ns;
-          stats.candidates <- stats.candidates + 1;
-          if Obs.tracing () then
-            emit "scc.probed"
-              (fun () ->
-                [
-                  ("members", Obs.Str (names queries members));
-                  ("witness", Obs.Bool (Option.is_some witness));
-                ])
-              (Probed
-                 {
-                   component = scc.members.(c);
-                   members;
-                   body = Combine.combined_body graph ~members subst;
-                   witness;
-                 });
-          match witness with
-          | None -> failed.(c) <- true
-          | Some assignment ->
-            covered.(c) <- members;
-            candidates := { covered = members; assignment } :: !candidates;
-            (* Under first-found selection, later components cannot
-               change the answer: stop probing the database. *)
-            (match selection with
-            | First_found -> raise Done
-            | Largest | Preferred _ -> ()))
-      end
-    with Resilient.Abort reason ->
-      let unprobed = List.init (scc.count - c) (fun i -> scc.members.(c + i)) in
-      degraded :=
-        Some
-          (Resilient.degraded ~unprobed
-             ~note:
-               (Printf.sprintf "%d of %d components unprobed"
-                  (List.length unprobed) scc.count)
-             reason);
-      raise Done
-    done
-    with Done -> ());
-    let candidates = List.rev !candidates in
-    let solution =
-      Option.map
-        (fun c -> Solution.make ~members:c.covered ~assignment:c.assignment)
-        (select selection queries candidates)
-    in
-    finish
-      (Ok { queries; graph; candidates; solution; stats; degraded = !degraded })
+      (* Phase 2: process components in reverse topological order.  Our
+         SCC ids are numbered sinks-first, so ascending id order is
+         exactly that. *)
+      let ctx = make_ctx ~minimize ~stats db in
+      let candidates = ref [] in
+      let degraded = ref None in
+      let exception Done in
+      (try
+         for c = 0 to scc.count - 1 do
+           (* A guard abort mid-component keeps every candidate already
+              probed: components from [c] on are reported unprobed, the
+              prefix stands. *)
+           try
+             match probe_component ctx a c with
+             | None -> ()
+             | Some cand ->
+               candidates := cand :: !candidates;
+               (* Under first-found selection, later components cannot
+                  change the answer: stop probing the database. *)
+               (match selection with
+               | First_found -> raise Done
+               | Largest | Preferred _ -> ())
+           with Resilient.Abort reason ->
+             let unprobed =
+               List.init (scc.count - c) (fun i -> scc.members.(c + i))
+             in
+             degraded :=
+               Some
+                 (Resilient.degraded ~unprobed
+                    ~note:
+                      (Printf.sprintf "%d of %d components unprobed"
+                         (List.length unprobed) scc.count)
+                    reason);
+             raise Done
+         done
+       with Done -> ());
+      let candidates = List.rev !candidates in
+      let solution =
+        Option.map
+          (fun c -> Solution.make ~members:c.covered ~assignment:c.assignment)
+          (select selection queries candidates)
+      in
+      finish
+        (Ok
+           { queries; graph; candidates; solution; stats; degraded = !degraded })
     end
-  end

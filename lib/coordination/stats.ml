@@ -51,6 +51,14 @@ let add_counters stats (d : Relational.Counters.t) =
 (* Delegates to the observability subsystem's CLOCK_MONOTONIC stub:
    gettimeofday is not monotonic, so spans could go negative under
    clock adjustment. *)
+let same_counters a b =
+  a.db_probes = b.db_probes
+  && a.candidates = b.candidates
+  && a.cleaning_rounds = b.cleaning_rounds
+  && a.plan_hits = b.plan_hits
+  && a.plan_misses = b.plan_misses
+  && a.tuples_scanned = b.tuples_scanned
+
 let now_ns = Obs.now_ns
 
 let add_span stats get set span = set stats (Int64.add (get stats) span)

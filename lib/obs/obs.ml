@@ -198,51 +198,65 @@ let reset_metrics () =
 (* Arming                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let sinks : sink list ref = ref []
+(* Arming state is domain-local: each OCaml 5 domain carries its own
+   sink list, nesting depth and metrics flag.  A freshly spawned domain
+   is disarmed (no sinks, metrics off), so uninstrumented workers keep
+   the near-zero disarmed cost; a worker that wants its work traced
+   installs a local memory sink and the orchestrating domain merges the
+   captured items back with [replay].  Nothing is shared, so no
+   instrumentation path needs synchronisation. *)
+type dstate = {
+  mutable sinks : sink list;
+  mutable depth : int;
+  mutable metrics_enabled : bool;
+}
 
-let metrics_enabled = ref false
+let dstate_key =
+  Domain.DLS.new_key (fun () ->
+      { sinks = []; depth = 0; metrics_enabled = false })
 
-(* The single flag every hot path reads. *)
-let armed = ref false
+let dstate () = Domain.DLS.get dstate_key
 
-let rearm () = armed := !sinks <> [] || !metrics_enabled
+let enabled () =
+  let st = dstate () in
+  st.sinks <> [] || st.metrics_enabled
 
-let enabled () = !armed
+let tracing () = (dstate ()).sinks <> []
 
-let tracing () = !sinks <> []
+let metrics_on () = (dstate ()).metrics_enabled
 
-let metrics_on () = !metrics_enabled
+let set_metrics b = (dstate ()).metrics_enabled <- b
 
-let set_metrics b =
-  metrics_enabled := b;
-  rearm ()
+let depth () = (dstate ()).depth
 
 (* ------------------------------------------------------------------ *)
 (* Spans and events                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let depth = ref 0
-
 let force_args = function Some f -> f () | None -> []
 
 let with_span ?args ?hist name f =
   (* A span is live if a sink wants it, or if it feeds a histogram and
-     metrics are on; otherwise it must cost one branch. *)
+     metrics are on; otherwise it must cost one domain-local load and a
+     branch. *)
+  let st = dstate () in
   let live =
-    match hist with None -> !sinks <> [] | Some _ -> !armed
+    match hist with
+    | None -> st.sinks <> []
+    | Some _ -> st.sinks <> [] || st.metrics_enabled
   in
   if not live then f ()
   else begin
-    let d = !depth in
-    depth := d + 1;
+    let d = st.depth in
+    st.depth <- d + 1;
     let t0 = now_ns () in
     let finally () =
       let dur = Int64.sub (now_ns ()) t0 in
-      depth := d;
+      st.depth <- d;
       (match hist with
-      | Some h when !metrics_enabled -> Histogram.observe h dur
+      | Some h when st.metrics_enabled -> Histogram.observe h dur
       | Some _ | None -> ());
-      match !sinks with
+      match st.sinks with
       | [] -> ()
       | sinks ->
         let s =
@@ -254,31 +268,57 @@ let with_span ?args ?hist name f =
   end
 
 let event ?args ?(payload = No_payload) name =
-  match !sinks with
+  match (dstate ()).sinks with
   | [] -> ()
   | sinks ->
     let e =
       {
         ev_name = name;
         ev_ts_ns = now_ns ();
-        ev_depth = !depth;
+        ev_depth = (dstate ()).depth;
         ev_args = force_args args;
         ev_payload = payload;
       }
     in
     List.iter (fun k -> k.on_event e) sinks
 
+let replay ?(depth_offset = 0) items =
+  match (dstate ()).sinks with
+  | [] -> ()
+  | sinks ->
+    List.iter
+      (fun item ->
+        match item with
+        | Span s ->
+          let s = { s with depth = s.depth + depth_offset } in
+          List.iter (fun k -> k.on_span s) sinks
+        | Event e ->
+          let e = { e with ev_depth = e.ev_depth + depth_offset } in
+          List.iter (fun k -> k.on_event e) sinks)
+      items
+
 (* ------------------------------------------------------------------ *)
 (* Sink management                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let install sink =
-  sinks := sink :: !sinks;
-  rearm ()
+  let st = dstate () in
+  st.sinks <- sink :: st.sinks
 
 let remove sink =
-  sinks := List.filter (fun s -> s != sink) !sinks;
-  rearm ()
+  let st = dstate () in
+  st.sinks <- List.filter (fun s -> s != sink) st.sinks
+
+let exclusive sink f =
+  let st = dstate () in
+  let saved_sinks = st.sinks and saved_depth = st.depth in
+  st.sinks <- [ sink ];
+  st.depth <- 0;
+  Fun.protect
+    ~finally:(fun () ->
+      st.sinks <- saved_sinks;
+      st.depth <- saved_depth)
+    f
 
 let close sink = sink.on_close ()
 

@@ -8,9 +8,18 @@
     {!Coordination.Explain}).
 
     When nothing is armed — no sink installed, metrics off — every
-    instrumentation site reduces to one mutable-bool load and a branch,
+    instrumentation site reduces to one domain-local load and a branch,
     so the engine can stay instrumented permanently (verified by the
-    [observability] ablation in [bench/ablations.ml]). *)
+    [observability] ablation in [bench/ablations.ml]).
+
+    Arming state (sinks, nesting depth, metrics flag) is domain-local:
+    a freshly spawned domain starts disarmed, so worker domains pay the
+    disarmed cost unless they install their own (typically memory)
+    sink.  {!Coordination.Executor} uses this to capture each shard's
+    items on the worker and {!replay} them deterministically on the
+    orchestrating domain.  The {!Histogram} and {!Counter} registries
+    remain process-wide and are not synchronised — record metrics from
+    one domain at a time (the executor keeps worker metrics off). *)
 
 val now_ns : unit -> int64
 (** Monotonic timestamp in nanoseconds ([CLOCK_MONOTONIC]): differences
@@ -149,6 +158,17 @@ val event :
 (** Instant event at the current nesting depth; dropped unless a sink is
     installed. *)
 
+val depth : unit -> int
+(** Current span nesting depth on the calling domain (0 outside any
+    span).  Used as the [depth_offset] when {!replay}ing items captured
+    on a worker domain, whose depth starts at 0. *)
+
+val replay : ?depth_offset:int -> item list -> unit
+(** Re-emit captured items (from a {!memory_sink} drain, typically on
+    another domain) to the calling domain's sinks, in list order, with
+    every depth shifted by [depth_offset].  Timestamps are preserved
+    verbatim.  No-op when no sink is installed. *)
+
 (** {1 Sinks} *)
 
 type sink
@@ -163,6 +183,18 @@ val close : sink -> unit
 
 val with_sink : sink -> (unit -> 'a) -> 'a
 (** Install around [f], then remove and {!close} (also on exception). *)
+
+val exclusive : sink -> (unit -> 'a) -> 'a
+(** Run [f] with [sink] as the calling domain's {e only} sink and the
+    span depth reset to 0, restoring the previous sinks and depth
+    afterwards (also on exception).  This is how an orchestrator
+    captures a thunk's emissions in isolation when the thunk runs on a
+    domain that already has live sinks — a pool worker scheduled on the
+    orchestrator's own domain.  A plain {!install} would double-deliver
+    every item: once live, in execution order, and once again in the
+    deterministic {!replay}; and the captured depths would be relative
+    to the orchestrator's span nesting instead of starting at 0 like a
+    freshly spawned domain's. *)
 
 val text_sink : Format.formatter -> sink
 (** Human-readable lines, indented by depth.  Spans print when they

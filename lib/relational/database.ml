@@ -2,6 +2,9 @@ type t = {
   tables : (string, Relation.t) Hashtbl.t;
   counters : Counters.t;
   plan_cache : (string, Plan.t) Hashtbl.t;
+  plan_lock : Mutex.t;
+      (* serialises plan_cache lookup+compile+insert; shared (like the
+         cache itself) between a database and its worker views *)
   mutable probe_latency : float;  (* seconds added per probe *)
   mutable guard : Resilient.t option;  (* resilience middleware, if armed *)
 }
@@ -11,8 +14,23 @@ let create () =
     tables = Hashtbl.create 16;
     counters = Counters.create ();
     plan_cache = Hashtbl.create 64;
+    plan_lock = Mutex.create ();
     probe_latency = 0.0;
     guard = None;
+  }
+
+(* A worker view shares the parent's tables, plan cache and lock — so
+   concurrent solves see one store and one compile-once cache — but has
+   private counters (merged by the caller afterwards) and its own guard
+   slot (one shard's budget, not the parent's). *)
+let worker_view ?guard db =
+  {
+    tables = db.tables;
+    counters = Counters.create ();
+    plan_cache = db.plan_cache;
+    plan_lock = db.plan_lock;
+    probe_latency = db.probe_latency;
+    guard;
   }
 
 (* Plans bake in join orders chosen against the schema (and, for
@@ -71,16 +89,24 @@ let data_version _db = Relation.mutation_count ()
 let prepare ?(cache = true) db q =
   let key, shape, binding = Plan.canonicalize q in
   let plan =
-    if cache then
-      match Hashtbl.find_opt db.plan_cache key with
-      | Some plan ->
-        db.counters.plan_hits <- db.counters.plan_hits + 1;
-        plan
-      | None ->
-        db.counters.plan_misses <- db.counters.plan_misses + 1;
-        let plan = Plan.compile (relation_opt db) ~key shape in
-        Hashtbl.add db.plan_cache key plan;
-        plan
+    if cache then begin
+      (* Held across lookup+compile+insert so parallel shards sharing
+         the cache compile each shape exactly once — keeping plan
+         hit/miss totals identical to a sequential run. *)
+      Mutex.lock db.plan_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock db.plan_lock)
+        (fun () ->
+          match Hashtbl.find_opt db.plan_cache key with
+          | Some plan ->
+            db.counters.plan_hits <- db.counters.plan_hits + 1;
+            plan
+          | None ->
+            db.counters.plan_misses <- db.counters.plan_misses + 1;
+            let plan = Plan.compile (relation_opt db) ~key shape in
+            Hashtbl.add db.plan_cache key plan;
+            plan)
+    end
     else begin
       db.counters.plan_misses <- db.counters.plan_misses + 1;
       Plan.compile (relation_opt db) ~key shape
@@ -102,14 +128,13 @@ let reset_counters db = Counters.reset db.counters
 
 let count_probe db =
   db.counters.probes <- db.counters.probes + 1;
-  if db.probe_latency > 0.0 then begin
-    (* Busy-wait: Unix.sleepf would need the unix library here, and the
-       emulated round trips are sub-millisecond. *)
-    let deadline = Sys.time () +. db.probe_latency in
-    while Sys.time () < deadline do
-      ()
-    done
-  end
+  if db.probe_latency > 0.0 then
+    (* A true blocking sleep, not a busy-wait: the emulated round trip
+       must release the core so that concurrent shards overlap their
+       in-flight probes the way the paper's client-server setup does. *)
+    Unix.sleepf db.probe_latency
+
+let warm_indexes db = List.iter Relation.warm_indexes (relations db)
 
 let set_probe_latency db seconds =
   if seconds < 0.0 then invalid_arg "Database.set_probe_latency: negative";

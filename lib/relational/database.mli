@@ -12,6 +12,16 @@ type t
 
 val create : unit -> t
 
+val worker_view : ?guard:Resilient.t -> t -> t
+(** [worker_view db] is a database handle for one parallel shard: it
+    shares [db]'s relations and compiled-plan cache (and the lock that
+    serialises cache fills), but carries fresh zeroed counters — merged
+    back by the executor so totals equal the sequential run — and its
+    own guard slot ([?guard], default unguarded) holding that shard's
+    split budget rather than the parent's.  Views must treat the store
+    as read-only; call {!warm_indexes} before sharing a store across
+    domains so no lazy index build races. *)
+
 val create_table : t -> Schema.t -> Relation.t
 (** @raise Invalid_argument if a relation with the same name exists.
     Invalidates the plan cache. *)
@@ -84,11 +94,18 @@ val count_probe : t -> unit
 (** Record that one conjunctive query was issued against this instance.
     If a probe latency is configured, also stalls for that long. *)
 
+val warm_indexes : t -> unit
+(** {!Relation.warm_indexes} on every relation: force all lazy hash
+    indexes to exist so concurrent readers never mutate the store. *)
+
 val set_probe_latency : t -> float -> unit
 (** [set_probe_latency db seconds] makes every probe cost an additional
     [seconds] of wall-clock time, emulating the client–server round trip
     of the paper's MySQL/JDBC setup (where per-query latency, not join
-    work, dominates).  Zero (the default) disables the stall. *)
+    work, dominates).  The stall is a true blocking sleep, so probes
+    issued by concurrent domains overlap — the regime the
+    [parallel-scaling] ablation measures.  Zero (the default) disables
+    the stall. *)
 
 val probe_latency : t -> float
 

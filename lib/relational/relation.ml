@@ -164,6 +164,11 @@ let ensure_index r col =
     r.indexes.(col) <- Some idx;
     idx
 
+let warm_indexes r =
+  for col = 0 to arity r - 1 do
+    ignore (ensure_index r col)
+  done
+
 let lookup r ~col v =
   let idx = ensure_index r col in
   match Value.Hashtbl.find_opt idx v with

@@ -44,6 +44,13 @@ val lookup : t -> col:int -> Value.t -> Tuple.t list
 (** [lookup r ~col v] is every tuple whose [col]-th field equals [v],
     served from a hash index (built on first use for that column). *)
 
+val warm_indexes : t -> unit
+(** Force-build the hash index of every column now.  Lazy index
+    construction mutates the relation on first lookup, which is unsafe
+    once several domains read the same store concurrently; warming on
+    the orchestrating domain before spawning makes all subsequent
+    index reads pure. *)
+
 val iter_matching : t -> col:int -> Value.t -> (Tuple.t -> unit) -> unit
 (** Like {!lookup} but without materialising the matching list — the
     evaluator's hot path, where choose-1 search usually stops after a

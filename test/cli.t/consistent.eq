@@ -1,0 +1,4 @@
+table S(id, dest, day).
+fact S(1, Paris, Mon).  fact S(2, Paris, Tue).  fact S(3, Rome, Mon).
+query uAlice: { R(y, Bob) }   R(x, Alice) :- S(x, d, Mon), S(y, d, e).
+query uBob:   { R(z, Alice) } R(w, Bob)   :- S(w, c, Tue), S(z, c, f).

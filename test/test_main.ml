@@ -16,4 +16,5 @@ let () =
       ("workload", Test_workload.suite);
       ("obs", Test_obs.suite);
       ("resilient", Test_resilient.suite);
+      ("executor", Test_executor.suite);
     ]
