@@ -1,14 +1,32 @@
 (* Bench regression gate.
 
    Compares a fresh `entangle-bench --json` dump against the committed
-   baseline (BENCH_eval.json) and fails when any timing column of any
-   series got more than --tolerance slower (by median over the series'
-   rows).  Timing columns are recognized by their `_ms`/`_us`/`_ns`
-   suffix; shape columns (sizes, counts, speedups) are ignored, and so
-   are columns whose baseline median is below a per-unit noise floor —
-   sub-millisecond medians regress by scheduler jitter alone.
+   baseline (BENCH_eval.json).  Three column families are enforced, by
+   median over each series' rows:
+
+   - timing columns (`_ms`/`_us`/`_ns` suffix): fail when the fresh
+     median got more than --tolerance slower than the baseline.
+     Columns whose baseline median is below a per-unit noise floor are
+     skipped — sub-millisecond medians regress by scheduler jitter
+     alone.
+   - speedup columns (`_speedup` suffix — deliberately not the bare
+     `speedup` of the parallel-scaling series, which depends on the
+     machine's core count): fail when the fresh median drops below an
+     absolute floor (--speedup-floor, default 3.0).  An absolute floor
+     rather than a baseline ratio: these are committed acceptance
+     ratios (the columnar storage engine must stay >= 3x the row
+     store) and ratios of two timings are far more portable across
+     machines than either timing, but not so stable that losing a lead
+     over an unusually good baseline run should fail CI.
+   - allocation columns (`minor_words_per_probe` suffix): fail when
+     the fresh median exceeds the baseline by more than --alloc-slack
+     words (default 0.5).  Allocation counts are exact and
+     deterministic, so the slack only absorbs measurement boxing
+     amortized across the probe loop; a single boxed value per probe
+     (2-3 words) is a real regression and fails.
 
      gate.exe --baseline BENCH_eval.json --fresh bench.json [--tolerance 0.25]
+       [--speedup-floor 3.0] [--alloc-slack 0.5]
 
    The parser below covers exactly the JSON Series.to_json emits
    (objects, arrays, numbers, strings); it is not a general-purpose
@@ -188,27 +206,41 @@ let column_median series name =
            match List.nth_opt row !idx with Some (Num f) -> Some f | _ -> None)
     |> median
 
+type rule =
+  | Timing of float  (* noise floor in the column's own unit *)
+  | Speedup          (* fresh median must stay above the absolute floor *)
+  | Alloc            (* fresh median must stay within slack of baseline *)
+
 (* Sub-noise-floor medians are skipped: a 25% "regression" of 40
    microseconds is scheduler jitter, not a slowdown. *)
-let timing_column name =
+let rule_of_column name =
   let suffixed s = String.length name > String.length s
     && String.sub name (String.length name - String.length s) (String.length s) = s
   in
-  if suffixed "_ms" then Some 1.0
-  else if suffixed "_us" then Some 1000.0
-  else if suffixed "_ns" then Some 1_000_000.0
+  if suffixed "minor_words_per_probe" then Some Alloc
+  else if suffixed "_speedup" then Some Speedup
+  else if suffixed "_ms" then Some (Timing 1.0)
+  else if suffixed "_us" then Some (Timing 1000.0)
+  else if suffixed "_ns" then Some (Timing 1_000_000.0)
   else None
 
 let () =
   let baseline_path = ref "BENCH_eval.json" in
   let fresh_path = ref "" in
   let tolerance = ref 0.25 in
+  let speedup_floor = ref 3.0 in
+  let alloc_slack = ref 0.5 in
   let spec =
     [
       ("--baseline", Arg.Set_string baseline_path, "FILE  committed baseline");
       ("--fresh", Arg.Set_string fresh_path, "FILE  freshly generated dump");
       ("--tolerance", Arg.Set_float tolerance,
        "T  fail when median(fresh) > median(baseline) * (1+T)  (default 0.25)");
+      ("--speedup-floor", Arg.Set_float speedup_floor,
+       "S  fail when a *_speedup median drops below S  (default 3.0)");
+      ("--alloc-slack", Arg.Set_float alloc_slack,
+       "W  fail when a *minor_words_per_probe median exceeds baseline + W \
+        words  (default 0.5)");
     ]
   in
   Arg.parse spec
@@ -229,34 +261,63 @@ let () =
       | Some fresh_series ->
         List.iter
           (fun col ->
-            match timing_column col with
+            match rule_of_column col with
             | None -> ()
-            | Some floor -> (
+            | Some rule -> (
               match
                 (column_median base_series col, column_median fresh_series col)
               with
-              | Some b, Some f when b >= floor ->
-                incr checked;
-                let ratio = f /. b in
-                Printf.printf "  %-32s %-14s base %12.3f  fresh %12.3f  %+6.1f%%\n"
-                  name col b f ((ratio -. 1.0) *. 100.0);
-                if ratio > 1.0 +. !tolerance then
-                  failures :=
-                    Printf.sprintf
-                      "%s.%s slowed down %.1f%% (median %.3f -> %.3f, \
-                       tolerance %.0f%%)"
-                      name col
-                      ((ratio -. 1.0) *. 100.0)
-                      b f (!tolerance *. 100.0)
-                    :: !failures
-              | Some b, Some _ ->
-                Printf.printf "  %-32s %-14s base %12.3f  (below noise floor, \
-                               skipped)\n"
-                  name col b
-              | None, _ | _, None -> ()))
+              | None, _ | _, None -> ()
+              | Some b, Some f -> (
+                match rule with
+                | Timing floor when b < floor ->
+                  Printf.printf
+                    "  %-32s %-30s base %12.3f  (below noise floor, skipped)\n"
+                    name col b
+                | Timing _ ->
+                  incr checked;
+                  let ratio = f /. b in
+                  Printf.printf
+                    "  %-32s %-30s base %12.3f  fresh %12.3f  %+6.1f%%\n" name
+                    col b f ((ratio -. 1.0) *. 100.0);
+                  if ratio > 1.0 +. !tolerance then
+                    failures :=
+                      Printf.sprintf
+                        "%s.%s slowed down %.1f%% (median %.3f -> %.3f, \
+                         tolerance %.0f%%)"
+                        name col
+                        ((ratio -. 1.0) *. 100.0)
+                        b f (!tolerance *. 100.0)
+                      :: !failures
+                | Speedup ->
+                  incr checked;
+                  Printf.printf
+                    "  %-32s %-30s base %12.2fx fresh %12.2fx (floor %.1fx)\n"
+                    name col b f !speedup_floor;
+                  if f < !speedup_floor then
+                    failures :=
+                      Printf.sprintf
+                        "%s.%s speedup %.2fx is below the %.1fx floor \
+                         (baseline %.2fx)"
+                        name col f !speedup_floor b
+                      :: !failures
+                | Alloc ->
+                  incr checked;
+                  Printf.printf
+                    "  %-32s %-30s base %12.2f  fresh %12.2f  (slack %.1f \
+                     words)\n"
+                    name col b f !alloc_slack;
+                  if f > b +. !alloc_slack then
+                    failures :=
+                      Printf.sprintf
+                        "%s.%s allocates %.2f minor words per probe \
+                         (baseline %.2f, slack %.1f): the probe path is no \
+                         longer allocation-free"
+                        name col f b !alloc_slack
+                      :: !failures)))
           (columns_of base_series))
     baseline;
-  Printf.printf "bench gate: %d timing medians checked against %s\n" !checked
+  Printf.printf "bench gate: %d column medians checked against %s\n" !checked
     !baseline_path;
   match List.rev !failures with
   | [] -> print_endline "bench gate: OK"

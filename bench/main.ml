@@ -12,7 +12,8 @@
 let usage =
   "main.exe [--fast] [--figure N]... [--ablation \
    evaluator|preprocess|selection|minimize|realistic|parallel|online|\
-   online-scaling|parallel-scaling|observability|resilience]... [--bechamel] \
+   online-scaling|parallel-scaling|observability|resilience|storage]... \
+   [--bechamel] \
    [--figures-only] [--json FILE]"
 
 let () =
@@ -103,6 +104,11 @@ let () =
       | "resilience" ->
         if fast then Ablations.resilience ~rows:5_000 ~n:15 ~repeats:3 ()
         else Ablations.resilience ()
+      | "storage" ->
+        (* 100k rows even in fast mode: the speedup and allocation gates
+           are only meaningful at the acceptance workload size. *)
+        if fast then Ablations.storage ~repeats:3 ()
+        else Ablations.storage ()
       | s -> Printf.eprintf "unknown ablation %s\n" s)
     (List.rev !ablations);
   if !bechamel_only then begin

@@ -18,11 +18,31 @@ let read_file path =
   close_in ic;
   s
 
-let load path =
+let load ?backend path =
   let program = Entangled.Parser.parse_program (read_file path) in
-  let db = Database.create () in
+  let db = Database.create ?backend () in
   let queries = Entangled.Parser.load_program db program in
   (db, queries)
+
+let backend_conv =
+  let parse s =
+    match Database.backend_of_string s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown backend %S (row|columnar)" s))
+  in
+  let print ppf b = Format.pp_print_string ppf (Database.backend_to_string b) in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Database.Row
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Storage backend: $(b,row) (boxed tuples, the reference) or \
+           $(b,columnar) (dictionary-interned Bigarray columns with the \
+           allocation-free probe cursor).  Answers and statistics are \
+           identical; only speed differs.")
 
 let handle_syntax f =
   try f () with
@@ -222,9 +242,9 @@ let solve_cmd =
      without the closing bracket is not valid JSON). *)
   let run file algorithm first parallel domains stats dot explain trace
       trace_format metrics deadline_ms max_probes max_tuples probe_timeout_ms
-      max_attempts fault_rate fault_seed =
+      max_attempts fault_rate fault_seed backend =
     handle_syntax @@ fun () ->
-    let db, input = load file in
+    let db, input = load ~backend file in
     (* The resolved pool size, for the stats line; [None] when running
        sequentially so the line matches the sequential run exactly. *)
     let pool_domains =
@@ -434,7 +454,8 @@ let solve_cmd =
     Cmdliner.Term.(
       const run $ file $ algorithm $ first $ parallel $ domains $ stats $ dot
       $ explain $ trace $ trace_format $ metrics $ deadline_ms $ max_probes
-      $ max_tuples $ probe_timeout_ms $ max_attempts $ fault_rate $ fault_seed)
+      $ max_tuples $ probe_timeout_ms $ max_attempts $ fault_rate $ fault_seed
+      $ backend_arg)
 
 (* ------------------------------ check ----------------------------- *)
 
@@ -574,8 +595,8 @@ let repl_cmd =
              $(b,full-rebuild) (re-derive the coordination graph on every \
              evaluation; reference implementation).")
   in
-  let run consume mode =
-    let db = Database.create () in
+  let run consume mode backend =
+    let db = Database.create ~backend () in
     let engine = Coordination.Online.create ~consume ~mode db in
     let report_fired (c : Coordination.Online.coordinated) =
       Printf.printf "coordinated: {%s}\n"
@@ -662,7 +683,9 @@ let repl_cmd =
     "Interactive coordination server: facts and queries stream in, \
      coordinating sets fire as soon as they exist."
   in
-  Cmd.v (Cmd.info "repl" ~doc) Cmdliner.Term.(const run $ consume $ mode)
+  Cmd.v
+    (Cmd.info "repl" ~doc)
+    Cmdliner.Term.(const run $ consume $ mode $ backend_arg)
 
 let () =
   let doc = "data-driven coordination with entangled queries" in

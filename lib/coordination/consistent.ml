@@ -419,9 +419,9 @@ let to_solution db outcome =
         Database.relation db (Schema.name config.Consistent_query.s_schema)
       in
       let tuple_of_key k =
-        match Relation.lookup s_rel ~col:0 k with
-        | t :: _ -> t
-        | [] -> assert false
+        match Relation.find_matching s_rel ~col:0 k with
+        | Some t -> t
+        | None -> assert false
       in
       let assignment = ref Eval.Binding.empty in
       let bind i local v =

@@ -1,0 +1,371 @@
+(* Columnar relation storage.
+
+   The second storage backend: each column of the relation is a
+   [Bigarray] int array of interned value ids ({!Dict}), so tuple data
+   lives outside the OCaml heap and the GC never scans it.  Alongside
+   the columns:
+
+   - a [live] byte per physical row (tombstone deletes, like the row
+     store);
+   - eager per-column index postings, dense arrays of row ids keyed by
+     value id — built at insert time (no lazy index mutation, so
+     concurrent readers never race an index build);
+   - an open-addressed present-set mapping a tuple's id-vector to its
+     physical row, giving O(1) duplicate detection, deletes and the
+     cursor's fully-bound membership probes without allocating a key.
+
+   The maintenance policies deliberately mirror {!Relation}'s: a posting
+   whose dead ids outnumber its live ones is filtered in place, and the
+   whole store compacts when more than half of all physical rows are
+   dead.  Both stores preserve the insertion order of live rows under
+   pruning and compaction, which is the invariant the differential
+   tests lean on: a probe enumerates candidate tuples in the same order
+   on either backend, so early-stopping queries scan identical tuple
+   counts and return identical first answers. *)
+
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type posting = {
+  mutable count : int;   (* live rows with this value *)
+  mutable len : int;     (* physical ids, possibly stale *)
+  mutable ids : int array;
+}
+
+(* Shared sentinel for "no posting"; never mutated (append replaces it
+   with a fresh posting first). *)
+let empty_posting = { count = 0; len = 0; ids = [||] }
+
+let no_posting = empty_posting
+
+type t = {
+  schema : Schema.t;
+  arity : int;
+  mutable cols : int_ba array;        (* per column, capacity [cap] *)
+  mutable live : Bytes.t;             (* '\001' live, '\000' dead *)
+  mutable nrows : int;                (* physical rows *)
+  mutable dead : int;
+  mutable cap : int;
+  mutable postings : posting array array;
+      (* postings.(c).(id) — rows whose column [c] holds value [id];
+         grown to the max id seen in that column *)
+  mutable table : int array;          (* open addressing: 0 empty,
+                                         -1 tombstone, row + 1 *)
+  mutable table_entries : int;        (* filled slots incl. tombstones *)
+}
+
+let ba_create n : int_ba = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let create schema =
+  let arity = Schema.arity schema in
+  {
+    schema;
+    arity;
+    cols = Array.init arity (fun _ -> ba_create 16);
+    live = Bytes.make 16 '\000';
+    nrows = 0;
+    dead = 0;
+    cap = 16;
+    postings = Array.make arity [||];
+    table = Array.make 32 0;
+    table_entries = 0;
+  }
+
+let schema t = t.schema
+let arity t = t.arity
+let cardinal t = t.nrows - t.dead
+let physical_rows t = t.nrows
+
+let is_live t row = Bytes.unsafe_get t.live row = '\001'
+
+let col_get t c row = Bigarray.Array1.unsafe_get (Array.unsafe_get t.cols c) row
+
+(* ------------------------- present-set ---------------------------- *)
+
+(* Hash of a tuple's id-vector; must agree between the array-keyed and
+   the column-reading probes below. *)
+let hash_ids (ids : int array) n =
+  let h = ref 0 in
+  for i = 0 to n - 1 do
+    h := (!h * 31) + Array.unsafe_get ids i
+  done;
+  !h land max_int
+
+let hash_row t row =
+  let h = ref 0 in
+  for c = 0 to t.arity - 1 do
+    h := (!h * 31) + col_get t c row
+  done;
+  !h land max_int
+
+(* A first-order loop: an inner recursive function here would close
+   over [row]/[ids] and allocate on every probe-chain slot, breaking
+   the zero-allocation contract of [find_row]. *)
+let row_equals_ids t row (ids : int array) =
+  let c = ref 0 in
+  while !c < t.arity && col_get t !c row = Array.unsafe_get ids !c do
+    incr c
+  done;
+  !c = t.arity
+
+(* Find the physical row of the live tuple with this id-vector, or -1.
+   Allocation-free: the key is the caller's scratch array. *)
+let find_row t (ids : int array) =
+  let mask = Array.length t.table - 1 in
+  let i = ref (hash_ids ids t.arity land mask) in
+  let result = ref (-2) in
+  while !result = -2 do
+    let v = Array.unsafe_get t.table !i in
+    if v = 0 then result := -1
+    else begin
+      if v > 0 && row_equals_ids t (v - 1) ids then result := v - 1
+      else i := (!i + 1) land mask
+    end
+  done;
+  !result
+
+let table_add t row =
+  let mask = Array.length t.table - 1 in
+  let i = ref (hash_row t row land mask) in
+  while Array.unsafe_get t.table !i > 0 do
+    i := (!i + 1) land mask
+  done;
+  (* Fill an empty or tombstoned slot. *)
+  if Array.unsafe_get t.table !i = 0 then
+    t.table_entries <- t.table_entries + 1;
+  Array.unsafe_set t.table !i (row + 1)
+
+let table_remove t row ids =
+  let mask = Array.length t.table - 1 in
+  let i = ref (hash_ids ids t.arity land mask) in
+  let stop = ref false in
+  while not !stop do
+    let v = Array.unsafe_get t.table !i in
+    if v = 0 then stop := true (* absent; nothing to do *)
+    else if v - 1 = row then begin
+      Array.unsafe_set t.table !i (-1);
+      stop := true
+    end
+    else i := (!i + 1) land mask
+  done
+
+let rebuild_table t =
+  let needed = max 32 (4 * cardinal t) in
+  let cap = ref 32 in
+  while !cap < needed do
+    cap := !cap * 2
+  done;
+  t.table <- Array.make !cap 0;
+  t.table_entries <- 0;
+  for row = 0 to t.nrows - 1 do
+    if is_live t row then table_add t row
+  done
+
+let maybe_grow_table t =
+  if 2 * (t.table_entries + 1) > Array.length t.table then rebuild_table t
+
+(* --------------------------- postings ----------------------------- *)
+
+let posting t c id =
+  let ps = Array.unsafe_get t.postings c in
+  if id >= 0 && id < Array.length ps then Array.unsafe_get ps id
+  else empty_posting
+
+let count_matching_id t c id = (posting t c id).count
+
+let posting_append t c id row =
+  let ps = t.postings.(c) in
+  let ps =
+    if id < Array.length ps then ps
+    else begin
+      let ps' = Array.make (max (id + 1) (max 64 (2 * Array.length ps))) empty_posting in
+      Array.blit ps 0 ps' 0 (Array.length ps);
+      t.postings.(c) <- ps';
+      ps'
+    end
+  in
+  let p = ps.(id) in
+  let p =
+    if p == empty_posting then begin
+      let p = { count = 0; len = 0; ids = Array.make 4 0 } in
+      ps.(id) <- p;
+      p
+    end
+    else p
+  in
+  if p.len = Array.length p.ids then begin
+    let ids' = Array.make (max 4 (2 * p.len)) 0 in
+    Array.blit p.ids 0 ids' 0 p.len;
+    p.ids <- ids'
+  end;
+  p.ids.(p.len) <- row;
+  p.len <- p.len + 1;
+  p.count <- p.count + 1
+
+(* Same policy as {!Relation.maybe_prune_posting}: drop tombstoned ids
+   once they outnumber live ones, preserving order. *)
+let maybe_prune_posting t p =
+  if p.len > 2 * p.count then begin
+    let kept = ref 0 in
+    for i = 0 to p.len - 1 do
+      let row = Array.unsafe_get p.ids i in
+      if is_live t row then begin
+        Array.unsafe_set p.ids !kept row;
+        incr kept
+      end
+    done;
+    p.len <- !kept
+  end
+
+(* --------------------------- mutation ----------------------------- *)
+
+let ensure_capacity t =
+  if t.nrows = t.cap then begin
+    let cap = 2 * t.cap in
+    t.cols <-
+      Array.map
+        (fun (col : int_ba) ->
+          let col' = ba_create cap in
+          Bigarray.Array1.blit col (Bigarray.Array1.sub col' 0 t.cap);
+          col')
+        t.cols;
+    let live' = Bytes.make cap '\000' in
+    Bytes.blit t.live 0 live' 0 t.cap;
+    t.live <- live';
+    t.cap <- cap
+  end
+
+(* Rebuild with live rows only, preserving insertion order — the same
+   observable effect as {!Relation.compact}. *)
+let compact t =
+  let n = cardinal t in
+  let cap = ref 16 in
+  while !cap < n do
+    cap := !cap * 2
+  done;
+  let cols' = Array.init t.arity (fun _ -> ba_create !cap) in
+  let live' = Bytes.make !cap '\000' in
+  let next = ref 0 in
+  for row = 0 to t.nrows - 1 do
+    if is_live t row then begin
+      for c = 0 to t.arity - 1 do
+        Bigarray.Array1.unsafe_set cols'.(c) !next (col_get t c row)
+      done;
+      Bytes.unsafe_set live' !next '\001';
+      incr next
+    end
+  done;
+  t.cols <- cols';
+  t.live <- live';
+  t.cap <- !cap;
+  t.nrows <- n;
+  t.dead <- 0;
+  t.postings <- Array.make t.arity [||];
+  for row = 0 to n - 1 do
+    for c = 0 to t.arity - 1 do
+      posting_append t c (col_get t c row) row
+    done;
+    (* posting_append also counted the row live; nothing else to fix *)
+  done;
+  (* postings were rebuilt via append: counts equal lengths *)
+  rebuild_table t
+
+let check_arity t tuple =
+  if Array.length tuple <> t.arity then
+    invalid_arg
+      (Printf.sprintf "Column_store %s: tuple arity %d, expected %d"
+         (Schema.name t.schema) (Array.length tuple) t.arity)
+
+let encode_intern (tuple : Tuple.t) = Array.map Dict.intern tuple
+
+(* Encode without interning; any unknown value means the tuple cannot be
+   present. *)
+let encode_find (tuple : Tuple.t) =
+  let ids = Array.map Dict.find tuple in
+  if Array.exists (fun id -> id < 0) ids then None else Some ids
+
+let insert t tuple =
+  check_arity t tuple;
+  let ids = encode_intern tuple in
+  if find_row t ids >= 0 then false
+  else begin
+    ensure_capacity t;
+    (* Grow the present table while the new row does not exist yet: a
+       rebuild here scans only the old rows, so the unconditional
+       [table_add] below cannot produce a duplicate entry. *)
+    maybe_grow_table t;
+    let row = t.nrows in
+    for c = 0 to t.arity - 1 do
+      Bigarray.Array1.unsafe_set t.cols.(c) row ids.(c)
+    done;
+    Bytes.unsafe_set t.live row '\001';
+    t.nrows <- row + 1;
+    for c = 0 to t.arity - 1 do
+      posting_append t c ids.(c) row
+    done;
+    table_add t row;
+    true
+  end
+
+let delete t tuple =
+  check_arity t tuple;
+  match encode_find tuple with
+  | None -> false
+  | Some ids ->
+    let row = find_row t ids in
+    if row < 0 then false
+    else begin
+      table_remove t row ids;
+      Bytes.unsafe_set t.live row '\000';
+      t.dead <- t.dead + 1;
+      for c = 0 to t.arity - 1 do
+        let p = posting t c ids.(c) in
+        if p != empty_posting then begin
+          p.count <- p.count - 1;
+          maybe_prune_posting t p
+        end
+      done;
+      if t.dead > t.nrows / 2 then compact t;
+      true
+    end
+
+let mem t tuple =
+  check_arity t tuple;
+  match encode_find tuple with
+  | None -> false
+  | Some ids -> find_row t ids >= 0
+
+(* ---------------------------- reading ----------------------------- *)
+
+let iter_rows f t =
+  for row = 0 to t.nrows - 1 do
+    if is_live t row then f row
+  done
+
+let decode_row t row =
+  Array.init t.arity (fun c -> Dict.value (col_get t c row))
+
+let iter f t = iter_rows (fun row -> f (decode_row t row)) t
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun tuple -> acc := tuple :: !acc) t;
+  List.rev !acc
+
+let count_matching t ~col v = count_matching_id t col (Dict.find v)
+
+let posting_length t ~col v = (posting t col (Dict.find v)).len
+
+let lookup t ~col v =
+  let p = posting t col (Dict.find v) in
+  let acc = ref [] in
+  for i = p.len - 1 downto 0 do
+    let row = p.ids.(i) in
+    if is_live t row then acc := decode_row t row :: !acc
+  done;
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a  -- %d tuples (columnar)" Schema.pp t.schema
+    (cardinal t);
+  iter (fun tuple -> Format.fprintf ppf "@,  %a" Tuple.pp tuple) t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,81 @@
+(** Columnar relation storage: the zero-allocation storage backend.
+
+    Tuples are stored column-wise as {!Dict}-interned ids in [Bigarray]
+    int arrays, with eager per-column postings and an open-addressed
+    present-set.  Maintenance (posting pruning, whole-store compaction)
+    follows the same thresholds as {!Relation} and preserves live-row
+    insertion order, so a cursor over this store visits candidates in
+    exactly the order the row store would — the property the
+    differential tests and cross-backend stats equality rely on. *)
+
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val arity : t -> int
+
+val cardinal : t -> int
+(** Live tuples. *)
+
+val physical_rows : t -> int
+(** Physical rows including tombstones (for compaction tests). *)
+
+(** {1 Mutation} *)
+
+val insert : t -> Tuple.t -> bool
+(** [insert t tuple] interns the tuple's values and appends a row;
+    [false] if an identical live tuple is already present. *)
+
+val delete : t -> Tuple.t -> bool
+(** Tombstone delete; prunes postings and compacts the store with the
+    same policies as {!Relation.delete}. *)
+
+val mem : t -> Tuple.t -> bool
+
+(** {1 Cursor-facing reads}
+
+    These operate on interned ids and physical rows, allocate nothing,
+    and are what {!Cursor} compiles probes down to. *)
+
+val is_live : t -> int -> bool
+val col_get : t -> int -> int -> int
+(** [col_get t c row] is the interned id at column [c] of physical row
+    [row]. *)
+
+type posting = private {
+  mutable count : int;  (** live rows among [ids] *)
+  mutable len : int;    (** valid prefix of [ids]; may include dead rows *)
+  mutable ids : int array;
+}
+
+val no_posting : posting
+(** The shared empty posting (also what {!posting} returns for ids that
+    never appeared); usable as an array initialiser. *)
+
+val posting : t -> int -> int -> posting
+(** [posting t c id] is the (possibly stale) posting of value [id] in
+    column [c]; a shared empty posting when the id never appeared.
+    Callers must re-check {!is_live} per row. *)
+
+val count_matching_id : t -> int -> int -> int
+(** Live-row count for [(column, id)] — O(1), mirrors
+    {!Relation.count_matching}. *)
+
+val find_row : t -> int array -> int
+(** [find_row t ids] is the physical row of the live tuple whose
+    columns equal [ids] (an [arity]-sized scratch array owned by the
+    caller), or [-1].  Allocation-free. *)
+
+(** {1 Value-level reads (tests, debugging, decode-at-output)} *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+(** Live tuples, insertion order, decoded. *)
+
+val to_list : t -> Tuple.t list
+val lookup : t -> col:int -> Value.t -> Tuple.t list
+val count_matching : t -> col:int -> Value.t -> int
+val posting_length : t -> col:int -> Value.t -> int
+(** Physical posting length including stale ids (invariant tests). *)
+
+val compact : t -> unit
+val pp : Format.formatter -> t -> unit

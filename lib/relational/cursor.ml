@@ -1,0 +1,317 @@
+(* Allocation-free cursor execution of compiled plans over columnar
+   mirrors.
+
+   A {!Plan.t} is translated once per (domain, database, plan) into an
+   [exec]: every relation name resolved to its {!Column_store}, every
+   argument encoded as an int "source" (slot or parameter), and all the
+   machine state — binding frame, translated parameters, per-step
+   cursor positions — preallocated.  Running a probe then touches only
+   machine integers: postings are walked by index, column values are
+   compared as {!Dict} ids, and backtracking is an explicit
+   step-counter decrement instead of an exception or a closure return.
+   Steady state, a probe allocates nothing.
+
+   Semantics mirror {!Plan.execute} over the row store exactly — same
+   join order (the plan is shared), same candidate enumeration order
+   (both stores preserve live-row insertion order), same adaptive
+   column choice (first strict minimum over the same column sequence),
+   and the same [tuples_scanned] accounting (one per live candidate
+   examined, one per membership test).  The differential tests compare
+   full solver runs, including stats, across the two paths. *)
+
+(* Where a column's comparison id comes from: slot [s] encodes as
+   [s lsl 1], parameter [j] as [(j lsl 1) lor 1]. *)
+let encode_arg = function
+  | Plan.Slot s -> s lsl 1
+  | Plan.Param j -> (j lsl 1) lor 1
+
+type access_exec =
+  | A_membership of int array * int array
+      (* per-column sources; scratch id-vector for [find_row] *)
+  | A_index_one of int * int        (* column, source *)
+  | A_adaptive of int array * int array  (* columns, sources *)
+  | A_scan
+
+type step_exec = {
+  store : Column_store.t;
+  ops : Plan.op array;
+  access : access_exec;
+}
+
+type t = {
+  plan : Plan.t;
+      (* identity of the plan this exec was compiled from; compared
+         physically to detect recompilation and cache invalidation *)
+  steps : step_exec array;
+  nsteps : int;
+  nslots : int;
+  nparams : int;
+  frame : int array;   (* slot -> bound id *)
+  params : int array;  (* param -> translated id; Dict.unknown if absent *)
+  pos : int array;     (* per step: next position in its iteration *)
+  lim : int array;     (* per step: iteration bound *)
+  kind : int array;    (* per step: 0 posting, 1 scan, 2 membership *)
+  cur : Column_store.posting array;  (* per step, when kind = 0 *)
+  out_frame : Value.t array;         (* decoded frame for callbacks *)
+}
+
+let of_plan db (plan : Plan.t) =
+  let steps =
+    Array.map
+      (fun (st : Plan.step) ->
+        let rel =
+          match Database.relation_opt db st.rel with
+          | None -> raise (Plan.Unknown_relation st.rel)
+          | Some r ->
+            let expected = Relation.arity r in
+            let got = Array.length st.args in
+            if got <> expected then
+              raise (Plan.Arity_mismatch (st.rel, got, expected));
+            r
+        in
+        let store =
+          match Relation.column_store rel with
+          | Some cs -> cs
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Cursor: relation %s has no columnar mirror"
+                 st.rel)
+        in
+        let access =
+          match st.access with
+          | Plan.Membership ->
+            let srcs = Array.map encode_arg st.args in
+            A_membership (srcs, Array.make (Array.length srcs) 0)
+          | Plan.Index_one (c, a) -> A_index_one (c, encode_arg a)
+          | Plan.Index_adaptive cols ->
+            A_adaptive
+              ( Array.map fst cols,
+                Array.map (fun (_, a) -> encode_arg a) cols )
+          | Plan.Full_scan -> A_scan
+        in
+        { store; ops = st.ops; access })
+      plan.steps
+  in
+  let n = Array.length steps in
+  {
+    plan;
+    steps;
+    nsteps = n;
+    nslots = plan.nslots;
+    nparams = plan.nparams;
+    frame = Array.make (max 1 plan.nslots) 0;
+    params = Array.make (max 1 plan.nparams) Dict.unknown;
+    pos = Array.make (max 1 n) 0;
+    lim = Array.make (max 1 n) 0;
+    kind = Array.make (max 1 n) 0;
+    cur = Array.make (max 1 n) Column_store.no_posting;
+    out_frame = Array.make (max 1 plan.nslots) (Value.Int 0);
+  }
+
+(* ------------------------- per-domain cache ----------------------- *)
+
+(* One exec per (domain, database, plan shape).  Per-domain because the
+   machine state is scratch; keyed by database uid so worker views (same
+   uid) share entries; validated by physical plan identity, which
+   changes exactly when the database recompiles a shape — on plan-cache
+   invalidation or under [~cache:false]. *)
+let dls : (string, t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let prepare db (plan : Plan.t) =
+  let tbl = Domain.DLS.get dls in
+  let key = Printf.sprintf "%d|%s" (Database.uid db) plan.key in
+  match Hashtbl.find_opt tbl key with
+  | Some exec when exec.plan == plan -> exec
+  | _ ->
+    let exec = of_plan db plan in
+    Hashtbl.replace tbl key exec;
+    exec
+
+let bind_params t (params : Value.t array) =
+  if Array.length params <> t.nparams then
+    invalid_arg "Cursor.bind_params: parameter count does not match the plan";
+  for j = 0 to t.nparams - 1 do
+    (* Unknown constants translate to [Dict.unknown]: no stored id ever
+       equals it, so every comparison against it fails — exactly the
+       row store's behaviour for a value it does not contain. *)
+    t.params.(j) <- Dict.find params.(j)
+  done
+
+(* --------------------------- the machine -------------------------- *)
+
+let src_id t src =
+  if src land 1 = 0 then Array.unsafe_get t.frame (src lsr 1)
+  else Array.unsafe_get t.params (src lsr 1)
+
+(* Position step [i]'s cursor at the start of its candidate stream.
+   Mirrors the access-path entry of [Plan.execute]: the adaptive choice
+   is the first strict minimum of live counts over the same column
+   order. *)
+let enter t i =
+  let st = Array.unsafe_get t.steps i in
+  match st.access with
+  | A_membership _ ->
+    t.kind.(i) <- 2;
+    t.pos.(i) <- 0;
+    t.lim.(i) <- 1
+  | A_index_one (c, src) ->
+    let p = Column_store.posting st.store c (src_id t src) in
+    t.cur.(i) <- p;
+    t.kind.(i) <- 0;
+    t.pos.(i) <- 0;
+    t.lim.(i) <- p.len
+  | A_adaptive (cols, srcs) ->
+    let best = ref 0 and best_cost = ref max_int in
+    for k = 0 to Array.length cols - 1 do
+      let cost =
+        Column_store.count_matching_id st.store
+          (Array.unsafe_get cols k)
+          (src_id t (Array.unsafe_get srcs k))
+      in
+      if cost < !best_cost then begin
+        best_cost := cost;
+        best := k
+      end
+    done;
+    let p =
+      Column_store.posting st.store cols.(!best) (src_id t srcs.(!best))
+    in
+    t.cur.(i) <- p;
+    t.kind.(i) <- 0;
+    t.pos.(i) <- 0;
+    t.lim.(i) <- p.len
+  | A_scan ->
+    t.kind.(i) <- 1;
+    t.pos.(i) <- 0;
+    t.lim.(i) <- Column_store.physical_rows st.store
+
+(* Match physical row [row] against step [i]'s column ops, binding
+   first-occurrence slots.  No undo: a slot written by a failed match is
+   overwritten before its next read (static property of the plan). *)
+let match_row t (st : step_exec) row =
+  let ops = st.ops in
+  let nops = Array.length ops in
+  let ok = ref true in
+  let c = ref 0 in
+  while !ok && !c < nops do
+    (match Array.unsafe_get ops !c with
+    | Plan.Bind s -> t.frame.(s) <- Column_store.col_get st.store !c row
+    | Plan.Check_slot s ->
+      if t.frame.(s) <> Column_store.col_get st.store !c row then ok := false
+    | Plan.Check_param j ->
+      if t.params.(j) <> Column_store.col_get st.store !c row then ok := false);
+    incr c
+  done;
+  !ok
+
+(* Advance step [i] to its next matching candidate; [true] iff found.
+   Counts [tuples_scanned] exactly as the row path does: once per live
+   candidate examined, once per membership test. *)
+let advance t i (counters : Counters.t) =
+  let st = Array.unsafe_get t.steps i in
+  match Array.unsafe_get t.kind i with
+  | 2 ->
+    (* Membership: a one-shot test. *)
+    if t.pos.(i) = 0 then begin
+      t.pos.(i) <- 1;
+      counters.Counters.tuples_scanned <-
+        counters.Counters.tuples_scanned + 1;
+      match st.access with
+      | A_membership (srcs, scratch) ->
+        for c = 0 to Array.length srcs - 1 do
+          scratch.(c) <- src_id t (Array.unsafe_get srcs c)
+        done;
+        Column_store.find_row st.store scratch >= 0
+      | A_index_one _ | A_adaptive _ | A_scan -> assert false
+    end
+    else false
+  | 0 ->
+    (* Posting walk: skip dead rows silently (the row store's
+       [iter_matching] filters them before they are counted). *)
+    let p = Array.unsafe_get t.cur i in
+    let found = ref false in
+    let pos = ref (Array.unsafe_get t.pos i) in
+    let lim = Array.unsafe_get t.lim i in
+    while (not !found) && !pos < lim do
+      let row = Array.unsafe_get p.Column_store.ids !pos in
+      incr pos;
+      if Column_store.is_live st.store row then begin
+        counters.Counters.tuples_scanned <-
+          counters.Counters.tuples_scanned + 1;
+        if match_row t st row then found := true
+      end
+    done;
+    t.pos.(i) <- !pos;
+    !found
+  | _ ->
+    (* Full scan over physical rows. *)
+    let found = ref false in
+    let pos = ref (Array.unsafe_get t.pos i) in
+    let lim = Array.unsafe_get t.lim i in
+    while (not !found) && !pos < lim do
+      let row = !pos in
+      incr pos;
+      if Column_store.is_live st.store row then begin
+        counters.Counters.tuples_scanned <-
+          counters.Counters.tuples_scanned + 1;
+        if match_row t st row then found := true
+      end
+    done;
+    t.pos.(i) <- !pos;
+    !found
+
+(* Count solutions, stopping once [limit] are found.  The whole loop is
+   first-order over preallocated state: zero allocation. *)
+let run_count t counters ~limit =
+  if limit <= 0 then 0
+  else if t.nsteps = 0 then 1 (* empty body: the one empty solution *)
+  else begin
+    let count = ref 0 in
+    let i = ref 0 in
+    let running = ref true in
+    enter t 0;
+    while !running do
+      if advance t !i counters then
+        if !i = t.nsteps - 1 then begin
+          incr count;
+          if !count >= limit then running := false
+        end
+        else begin
+          incr i;
+          enter t !i
+        end
+      else if !i = 0 then running := false
+      else decr i
+    done;
+    !count
+  end
+
+(* Enumerate solutions through [f], which receives the decoded frame
+   (slot -> value, reused between calls) and returns whether to
+   continue.  Allocation happens only in [f] and in value decoding of
+   already-interned ids (which is allocation-free: [Dict.value] returns
+   the stored boxed value). *)
+let iter_frames t counters f =
+  if t.nsteps = 0 then ignore (f t.out_frame)
+  else begin
+    let nslots = t.nslots in
+    let i = ref 0 in
+    let running = ref true in
+    enter t 0;
+    while !running do
+      if advance t !i counters then
+        if !i = t.nsteps - 1 then begin
+          for s = 0 to nslots - 1 do
+            t.out_frame.(s) <- Dict.value t.frame.(s)
+          done;
+          if not (f t.out_frame) then running := false
+        end
+        else begin
+          incr i;
+          enter t !i
+        end
+      else if !i = 0 then running := false
+      else decr i
+    done
+  end

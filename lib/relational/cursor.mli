@@ -1,0 +1,47 @@
+(** Allocation-free execution of compiled plans over columnar mirrors.
+
+    Translates a {!Plan.t} into an integer-cursor machine probing
+    {!Column_store}s: slots and parameters are {!Dict} ids, candidate
+    streams are posting walks, and backtracking is an explicit step
+    index.  All machine state is preallocated, so a steady-state probe
+    ([{!bind_params} + {!run_count}]) allocates nothing.
+
+    Observable behaviour matches {!Plan.execute} over the row store:
+    identical solutions in identical order and identical
+    [tuples_scanned] accounting — the invariant the differential suite
+    checks. *)
+
+type t
+(** A compiled cursor executor.  Holds mutable scratch: one executor
+    must not be shared across domains (use {!prepare}, which caches per
+    domain) or re-entered from a solution callback. *)
+
+val prepare : Database.t -> Plan.t -> t
+(** [prepare db plan] is the per-domain executor for [plan] against
+    [db]'s columnar mirrors, built on first use and cached keyed by
+    database uid and plan shape.  The cache entry is retired whenever
+    the database recompiles the shape (physical plan identity), so DDL
+    invalidation follows the plan cache automatically.
+    @raise Plan.Unknown_relation, Plan.Arity_mismatch as {!Plan.execute}.
+    @raise Invalid_argument if a referenced relation has no columnar
+    mirror (database not created with [~backend:Columnar]). *)
+
+val of_plan : Database.t -> Plan.t -> t
+(** Uncached {!prepare} (for tests). *)
+
+val bind_params : t -> Value.t array -> unit
+(** Translate a query instance's constants ({!Plan.binding}[.params])
+    into ids for the next run.  Constants never interned translate to
+    {!Dict.unknown} and simply match nothing.  Allocation-free.
+    @raise Invalid_argument on a parameter-count mismatch. *)
+
+val run_count : t -> Counters.t -> limit:int -> int
+(** [run_count t counters ~limit] counts solutions, stopping early once
+    [limit] are found ([limit = 1] is satisfiability; [max_int] a full
+    count).  Adds examined candidates to [counters.tuples_scanned].
+    Zero allocation. *)
+
+val iter_frames : t -> Counters.t -> (Value.t array -> bool) -> unit
+(** [iter_frames t counters f] enumerates solutions; [f] receives the
+    decoded frame indexed by slot — reused between calls, copy what you
+    keep — and returns whether to continue. *)

@@ -1,3 +1,12 @@
+type backend = Row | Columnar
+
+let backend_to_string = function Row -> "row" | Columnar -> "columnar"
+
+let backend_of_string = function
+  | "row" -> Some Row
+  | "columnar" -> Some Columnar
+  | _ -> None
+
 type t = {
   tables : (string, Relation.t) Hashtbl.t;
   counters : Counters.t;
@@ -5,16 +14,28 @@ type t = {
   plan_lock : Mutex.t;
       (* serialises plan_cache lookup+compile+insert; shared (like the
          cache itself) between a database and its worker views *)
+  backend : backend;
+  uid : int;
+      (* process-unique instance id, shared with worker views; keys the
+         cursor's per-domain compiled-exec cache *)
+  plan_epoch : int Atomic.t;
+      (* bumped with every plan-cache invalidation; shared with worker
+         views so stale cursor execs die with the plans they compiled *)
   mutable probe_latency : float;  (* seconds added per probe *)
   mutable guard : Resilient.t option;  (* resilience middleware, if armed *)
 }
 
-let create () =
+let next_uid = Atomic.make 0
+
+let create ?(backend = Row) () =
   {
     tables = Hashtbl.create 16;
     counters = Counters.create ();
     plan_cache = Hashtbl.create 64;
     plan_lock = Mutex.create ();
+    backend;
+    uid = Atomic.fetch_and_add next_uid 1;
+    plan_epoch = Atomic.make 0;
     probe_latency = 0.0;
     guard = None;
   }
@@ -22,27 +43,41 @@ let create () =
 (* A worker view shares the parent's tables, plan cache and lock — so
    concurrent solves see one store and one compile-once cache — but has
    private counters (merged by the caller afterwards) and its own guard
-   slot (one shard's budget, not the parent's). *)
+   slot (one shard's budget, not the parent's).  [uid] and [plan_epoch]
+   are shared too: a view probes the same stores, so it must hit the
+   same cursor-exec cache entries and see the same invalidations. *)
 let worker_view ?guard db =
   {
     tables = db.tables;
     counters = Counters.create ();
     plan_cache = db.plan_cache;
     plan_lock = db.plan_lock;
+    backend = db.backend;
+    uid = db.uid;
+    plan_epoch = db.plan_epoch;
     probe_latency = db.probe_latency;
     guard;
   }
 
+let backend db = db.backend
+
+let uid db = db.uid
+
+let plan_epoch db = Atomic.get db.plan_epoch
+
 (* Plans bake in join orders chosen against the schema (and, for
    tie-breaks, cardinalities) seen at compile time; schema changes make
-   them meaningless, so the cache empties wholesale. *)
-let invalidate_plans db = Hashtbl.reset db.plan_cache
+   them meaningless, so the cache empties wholesale and the epoch bump
+   retires every per-domain cursor exec derived from it. *)
+let invalidate_plans db =
+  Hashtbl.reset db.plan_cache;
+  Atomic.incr db.plan_epoch
 
 let create_table db schema =
   let name = Schema.name schema in
   if Hashtbl.mem db.tables name then
     invalid_arg (Printf.sprintf "Database.create_table: %s already exists" name);
-  let r = Relation.create schema in
+  let r = Relation.create ~columnar:(db.backend = Columnar) schema in
   Hashtbl.add db.tables name r;
   invalidate_plans db;
   Relation.note_mutation ();

@@ -10,7 +10,30 @@
 
 type t
 
-val create : unit -> t
+type backend =
+  | Row      (** the original boxed-tuple store; the differential oracle *)
+  | Columnar (** row store + {!Column_store} mirror probed by {!Cursor} *)
+
+val backend_to_string : backend -> string
+
+val backend_of_string : string -> backend option
+
+val create : ?backend:backend -> unit -> t
+(** [create ?backend ()] makes an empty instance.  [~backend:Columnar]
+    (default [Row]) makes every subsequently created table keep a
+    columnar mirror ({!Relation.column_store}); the evaluator then runs
+    probes through the allocation-free cursor path. *)
+
+val backend : t -> backend
+
+val uid : t -> int
+(** Process-unique instance id, shared by {!worker_view}s; keys
+    per-domain caches derived from this database. *)
+
+val plan_epoch : t -> int
+(** Monotone stamp bumped on every plan-cache invalidation (table
+    creation/drop).  Caches holding anything compiled from a plan
+    snapshot this and retire entries when it moves. *)
 
 val worker_view : ?guard:Resilient.t -> t -> t
 (** [worker_view db] is a database handle for one parallel shard: it

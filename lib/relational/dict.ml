@@ -1,0 +1,79 @@
+(* Process-level constant dictionary.
+
+   Every value inserted into a columnar store is interned here once, at
+   load/insert time, and carried as a dense non-negative int everywhere
+   after that: Bigarray columns, index postings and cursor frames hold
+   ids only, so the GC never scans tuple data and the probe inner loop
+   compares machine integers instead of calling [Value.compare].
+
+   Ids are process-global (one dictionary, shared by every store and
+   database) for the same reason {!Relation.mutation_count} is: sharing
+   can only make ids denser than strictly necessary, never wrong, and it
+   lets worker views, mirrors and replays of the same data agree on ids
+   without any handshake.
+
+   Concurrency contract:
+   - [intern] and [find] serialise on one mutex.  Interning happens on
+     the mutating domain (inserts); [find] is called on the probe path
+     (translating a query's constant parameters), which is a handful of
+     lookups per probe — an uncontended lock, not a scan-proportional
+     cost.  Neither allocates on the steady-state path.
+   - [value] is lock-free: ids are published by an [Atomic.t] size
+     counter *after* the backing array slot (and any replacement array)
+     is written, so a reader that observes [id < size ()] also observes
+     the corresponding slot (release/acquire ordering).  Decoding at
+     solution-output time therefore never contends with writers. *)
+
+let mutex = Mutex.create ()
+
+(* value -> id; guarded by [mutex]. *)
+let table : int Value.Hashtbl.t = Value.Hashtbl.create 1024
+
+(* id -> value; the array is append-only and republished on growth. *)
+let data : Value.t array Atomic.t = Atomic.make [||]
+
+let published : int Atomic.t = Atomic.make 0
+
+let size () = Atomic.get published
+
+let unknown = -1
+
+let intern v =
+  Mutex.lock mutex;
+  let id =
+    match Value.Hashtbl.find_opt table v with
+    | Some id -> id
+    | None ->
+      let id = Atomic.get published in
+      let arr = Atomic.get data in
+      let cap = Array.length arr in
+      if id >= cap then begin
+        let arr' = Array.make (max 1024 (2 * cap)) v in
+        Array.blit arr 0 arr' 0 cap;
+        (* Publish the bigger array before the size that legitimises
+           reading into it. *)
+        Atomic.set data arr'
+      end;
+      (Atomic.get data).(id) <- v;
+      Atomic.set published (id + 1);
+      Value.Hashtbl.add table v id;
+      id
+  in
+  Mutex.unlock mutex;
+  id
+
+let find v =
+  Mutex.lock mutex;
+  let id = try Value.Hashtbl.find table v with Not_found -> unknown in
+  Mutex.unlock mutex;
+  id
+
+let value id =
+  (* Read the size first: its acquire pairs with the release in
+     [intern], making the slot (and a grown array) visible. *)
+  let n = Atomic.get published in
+  if id < 0 || id >= n then
+    invalid_arg (Printf.sprintf "Dict.value: id %d out of [0,%d)" id n);
+  Array.unsafe_get (Atomic.get data) id
+
+let mem_id id = id >= 0 && id < Atomic.get published

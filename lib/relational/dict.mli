@@ -1,0 +1,37 @@
+(** Process-level constant dictionary.
+
+    Interns every {!Value.t} that enters a columnar store into a dense
+    non-negative int id, assigned in first-intern order.  Columnar
+    relations ({!Column_store}), their index postings and the cursor
+    executor ({!Cursor}) traffic exclusively in these ids; values are
+    decoded back only when a solution is materialised.
+
+    The dictionary is one per process and append-only: ids are never
+    reused or re-assigned, so any two stores (or a store and its
+    differential oracle) agree on the id of a value by construction. *)
+
+val intern : Value.t -> int
+(** [intern v] is the id of [v], allocating a fresh one on first sight.
+    Serialised on an internal mutex: concurrent interns from several
+    domains receive distinct ids.  Called on the mutation path (store
+    inserts), not per probed tuple. *)
+
+val find : Value.t -> int
+(** [find v] is [v]'s id, or [-1] when [v] was never interned — in which
+    case no columnar tuple can contain it, and every cursor comparison
+    against it correctly fails.  Does not intern (probe-only constants
+    must not grow the dictionary) and does not allocate. *)
+
+val value : int -> Value.t
+(** [value id] decodes an id; lock-free (safe concurrently with
+    {!intern} from other domains).
+    @raise Invalid_argument on an id never returned by {!intern}. *)
+
+val size : unit -> int
+(** Number of interned values; ids are exactly [0 .. size () - 1]. *)
+
+val mem_id : int -> bool
+(** [mem_id id] is [true] iff {!value}[ id] would succeed. *)
+
+val unknown : int
+(** The sentinel [-1] returned by {!find} for un-interned values. *)

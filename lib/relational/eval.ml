@@ -153,15 +153,47 @@ let solve_interpreted ~plan db (q : Cq.t) ~on_solution =
 (* The compiled evaluator: canonicalize, fetch or build the plan
    (per-database cache keyed by query shape), execute over an integer
    slot frame.  Returns the instance binding (variable names per slot)
-   and a runner. *)
+   and a runner.  On a columnar database the runner goes through the
+   allocation-free {!Cursor} machine against the Bigarray mirrors; the
+   solution stream and counter deltas are identical either way. *)
 let prepare_compiled ~cache db q =
   let plan, binding = Database.prepare ~cache db q in
-  let run on_frame =
-    Plan.execute plan
-      (Database.relation_opt db)
-      (Database.counters db) binding ~on_frame
+  let run =
+    match Database.backend db with
+    | Database.Row ->
+      fun on_frame ->
+        Plan.execute plan
+          (Database.relation_opt db)
+          (Database.counters db) binding ~on_frame
+    | Database.Columnar ->
+      fun on_frame ->
+        let exec = Cursor.prepare db plan in
+        Cursor.bind_params exec binding.Plan.params;
+        Cursor.iter_frames exec (Database.counters db) on_frame
   in
   (binding, run)
+
+(* Counting runner: like [prepare_compiled] but returns [limit -> n]
+   without materialising frames — on the columnar path this is the
+   fully allocation-free [Cursor.run_count]. *)
+let prepare_counting ~cache db q =
+  let plan, binding = Database.prepare ~cache db q in
+  match Database.backend db with
+  | Database.Row ->
+    fun limit ->
+      let n = ref 0 in
+      Plan.execute plan
+        (Database.relation_opt db)
+        (Database.counters db) binding
+        ~on_frame:(fun _ ->
+          incr n;
+          !n < limit);
+      !n
+  | Database.Columnar ->
+    fun limit ->
+      let exec = Cursor.prepare db plan in
+      Cursor.bind_params exec binding.Plan.params;
+      Cursor.run_count exec (Database.counters db) ~limit
 
 let snapshot_frame (binding : Plan.binding) frame =
   let b = ref Binding.empty in
@@ -257,12 +289,8 @@ let satisfiable ?(plan = Compiled) db q =
   if is_compiled plan then begin
     (* No valuation snapshot needed: stop at the first frame. *)
     probed db q ~kind:"satisfiable" @@ fun () ->
-    let _, run = prepare_compiled ~cache:(plan = Compiled) db q in
-    let found = ref false in
-    run (fun _ ->
-        found := true;
-        false);
-    !found
+    let run = prepare_counting ~cache:(plan = Compiled) db q in
+    run 1 > 0
   end
   else Option.is_some (find_first ~plan db q)
 
@@ -283,12 +311,8 @@ let count ?(plan = Compiled) db q =
     (* The compiled path counts frames directly — no per-solution
        valuation map is materialized. *)
     probed db q ~kind:"count" @@ fun () ->
-    let _, run = prepare_compiled ~cache:(plan = Compiled) db q in
-    let n = ref 0 in
-    run (fun _ ->
-        incr n;
-        true);
-    !n
+    let run = prepare_counting ~cache:(plan = Compiled) db q in
+    run max_int
   end
   else begin
     let n = ref 0 in
@@ -345,6 +369,61 @@ let check_ground db q =
       let t = Array.map (function Term.Const v -> v | Term.Var _ -> assert false) a.args in
       Relation.mem r t)
     q.atoms
+
+(* ------------------------------------------------------------------ *)
+(* Repeat-probe handles                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A prepared query: canonicalized and compiled once, re-executed many
+   times with swapped constants.  This is the raw probe loop with all
+   per-probe scaffolding stripped — no Obs span, no resilience guard,
+   no valuation snapshots — for callers (the storage bench, tight
+   server loops) that issue the same shape millions of times.  On a
+   columnar database the whole [count]/[satisfiable] path is
+   allocation-free in steady state. *)
+module Prepared = struct
+  type prepared = {
+    db : Database.t;
+    plan : Plan.t;
+    binding : Plan.binding;
+    exec : Cursor.t option;  (* Some iff the database is columnar *)
+  }
+
+  type t = prepared
+
+  let make db q =
+    let plan, binding = Database.prepare db q in
+    let exec =
+      match Database.backend db with
+      | Database.Columnar -> Some (Cursor.prepare db plan)
+      | Database.Row -> None
+    in
+    { db; plan; binding; exec }
+
+  let nparams t = Array.length t.binding.Plan.params
+
+  let set_param t j v = t.binding.Plan.params.(j) <- v
+
+  let count_limit t limit =
+    Database.count_probe t.db;
+    match t.exec with
+    | Some exec ->
+      Cursor.bind_params exec t.binding.Plan.params;
+      Cursor.run_count exec (Database.counters t.db) ~limit
+    | None ->
+      let n = ref 0 in
+      Plan.execute t.plan
+        (Database.relation_opt t.db)
+        (Database.counters t.db) t.binding
+        ~on_frame:(fun _ ->
+          incr n;
+          !n < limit);
+      !n
+
+  let count t = count_limit t max_int
+
+  let satisfiable t = count_limit t 1 > 0
+end
 
 let pp_valuation ppf b =
   Format.fprintf ppf "{@[%a@]}"

@@ -77,6 +77,37 @@ val check_ground : Database.t -> Cq.t -> bool
 
 val pp_valuation : Format.formatter -> valuation -> unit
 
+(** {2 Repeat-probe handles}
+
+    A query canonicalized and compiled once, then re-executed many
+    times with swapped constants — the raw probe loop with the
+    per-probe scaffolding (Obs spans, resilience guard, valuation
+    snapshots) stripped.  Each execution still counts one probe and
+    its scanned tuples.  On a columnar database ({!Database.backend})
+    the [count]/[satisfiable] path is allocation-free in steady state;
+    on a row database it is the ordinary compiled executor.  A handle
+    is valid until a table is created or dropped, and must not be
+    shared across domains. *)
+module Prepared : sig
+  type t
+
+  val make : Database.t -> Cq.t -> t
+  (** Compiles (or fetches from the plan cache) immediately; the usual
+      plan-cache hit/miss is counted here, once, not per execution.
+      @raise Plan.Unknown_relation, Plan.Arity_mismatch on bad queries. *)
+
+  val nparams : t -> int
+  (** Number of constant parameters, in first-occurrence order. *)
+
+  val set_param : t -> int -> Value.t -> unit
+  (** [set_param t j v] replaces the [j]-th constant for subsequent
+      executions. *)
+
+  val count : t -> int
+
+  val satisfiable : t -> bool
+end
+
 (** {2 Plan introspection} *)
 
 type plan_step = {

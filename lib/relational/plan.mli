@@ -29,7 +29,35 @@ type arg =
   | Slot of int   (** a variable slot of the binding frame *)
   | Param of int  (** a constant parameter of the query instance *)
 
-type t
+(** The representation below is exposed read-only ([private]) so that
+    {!Cursor} can translate a compiled plan into its integer-id
+    executor without a parallel compilation pipeline; everyone else
+    should treat [t] as abstract and go through {!execute}. *)
+
+type op =
+  | Bind of int         (** first occurrence: write the tuple value *)
+  | Check_slot of int   (** bound slot: compare *)
+  | Check_param of int  (** constant: compare *)
+
+type access =
+  | Membership                           (** fully bound: O(1) test *)
+  | Index_one of int * arg               (** the single bound column *)
+  | Index_adaptive of (int * arg) array  (** several; cheapest at run time *)
+  | Full_scan
+
+type step = private {
+  rel : string;
+  args : arg array;
+  ops : op array;
+  access : access;
+}
+
+type t = private {
+  key : string;
+  steps : step array;
+  nslots : int;
+  nparams : int;
+}
 (** A compiled plan.  Pure description: contains relation {e names},
     not relation handles, so it survives table drop/re-creation (arities
     are re-validated on execution). *)

@@ -18,6 +18,11 @@ type t = {
   (* indexes.(c) maps a value of column c to its posting; built lazily on
      first lookup of column c. *)
   mutable indexes : posting Value.Hashtbl.t option array;
+  (* Columnar twin, dual-written by [insert]/[delete] when the owning
+     database selected the columnar backend.  The row store stays
+     authoritative (and is the differential oracle); the mirror is what
+     {!Cursor} probes. *)
+  mirror : Column_store.t option;
 }
 
 (* Process-wide stamp of extensional mutations (successful inserts and
@@ -25,14 +30,17 @@ type t = {
    that cache anything derived from database contents — the online
    engine's per-component evaluation cache — snapshot this and
    invalidate when it moves.  A monotone counter shared across stores
-   can only over-invalidate, never miss a change. *)
-let mutations = ref 0
+   can only over-invalidate, never miss a change.  Atomic because the
+   multicore batch executor mutates per-component tables from several
+   domains at once; a plain [ref]'s lost updates could freeze a stale
+   cache stamp forever. *)
+let mutations = Atomic.make 0
 
-let mutation_count () = !mutations
+let mutation_count () = Atomic.get mutations
 
-let note_mutation () = incr mutations
+let note_mutation () = Atomic.incr mutations
 
-let create schema =
+let create ?(columnar = false) schema =
   {
     schema;
     tuples = Vec.create ();
@@ -40,7 +48,10 @@ let create schema =
     present = Tuple.Hashtbl.create 64;
     dead_count = 0;
     indexes = Array.make (Schema.arity schema) None;
+    mirror = (if columnar then Some (Column_store.create schema) else None);
   }
+
+let column_store r = r.mirror
 
 let schema r = r.schema
 
@@ -79,6 +90,9 @@ let insert r t =
       (fun c idx ->
         match idx with None -> () | Some idx -> index_row idx row t c)
       r.indexes;
+    (match r.mirror with
+    | None -> ()
+    | Some cs -> ignore (Column_store.insert cs t));
     note_mutation ();
     true
   end
@@ -134,6 +148,9 @@ let delete r t =
           | None -> ()))
       r.indexes;
     if r.dead_count > Vec.length r.tuples / 2 then compact r;
+    (match r.mirror with
+    | None -> ()
+    | Some cs -> ignore (Column_store.delete cs t));
     note_mutation ();
     true
 
@@ -174,11 +191,29 @@ let lookup r ~col v =
   match Value.Hashtbl.find_opt idx v with
   | None -> []
   | Some p ->
-    List.rev
-      (Vec.fold_left
-         (fun acc row ->
-           if Vec.get r.live row then Vec.get r.tuples row :: acc else acc)
-         [] p.ids)
+    (* One backward pass consing onto the accumulator yields the rows in
+       forward (insertion) order without the List.rev re-walk. *)
+    let acc = ref [] in
+    for i = Vec.length p.ids - 1 downto 0 do
+      let row = Vec.get p.ids i in
+      if Vec.get r.live row then acc := Vec.get r.tuples row :: !acc
+    done;
+    !acc
+
+exception Found of Tuple.t
+
+let find_matching r ~col v =
+  let idx = ensure_index r col in
+  match Value.Hashtbl.find_opt idx v with
+  | None -> None
+  | Some p -> (
+    try
+      Vec.iter
+        (fun row ->
+          if Vec.get r.live row then raise_notrace (Found (Vec.get r.tuples row)))
+        p.ids;
+      None
+    with Found t -> Some t)
 
 let iter_matching r ~col v f =
   let idx = ensure_index r col in

@@ -6,7 +6,17 @@
 
 type t
 
-val create : Schema.t -> t
+val create : ?columnar:bool -> Schema.t -> t
+(** [create ?columnar schema] makes an empty relation.  With
+    [~columnar:true] the relation also maintains a {!Column_store}
+    mirror: every successful {!insert}/{!delete} is dual-written, and
+    {!column_store} exposes the mirror for the allocation-free cursor
+    path ({!Cursor}).  The row store remains authoritative either way —
+    it is the differential oracle the mirror is tested against. *)
+
+val column_store : t -> Column_store.t option
+(** The columnar mirror, when the relation was created with
+    [~columnar:true]. *)
 
 val schema : t -> Schema.t
 
@@ -42,7 +52,13 @@ val to_list : t -> Tuple.t list
 
 val lookup : t -> col:int -> Value.t -> Tuple.t list
 (** [lookup r ~col v] is every tuple whose [col]-th field equals [v],
-    served from a hash index (built on first use for that column). *)
+    served from a hash index (built on first use for that column), in
+    insertion order, built in a single pass. *)
+
+val find_matching : t -> col:int -> Value.t -> Tuple.t option
+(** First (insertion-order) live tuple whose [col]-th field equals [v],
+    without materialising the match list.  The point-lookup companion to
+    {!iter_matching}. *)
 
 val warm_indexes : t -> unit
 (** Force-build the hash index of every column now.  Lazy index

@@ -13,12 +13,16 @@ let compare a b =
   | (Int _ | Str _ | Bool _), _ ->
     Int.compare (constructor_rank a) (constructor_rank b)
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
+(* Per-constructor salts keep [Int 1], [Str "1"] and [Bool true] apart
+   without building an intermediate pair for [Stdlib.Hashtbl.hash] to
+   consume — hashing a tuple literal allocates it, and [hash] sits on
+   the allocation-free probe path ({!Dict.find}). *)
 let hash = function
-  | Int x -> Stdlib.Hashtbl.hash (0, x)
-  | Str s -> Stdlib.Hashtbl.hash (1, s)
-  | Bool b -> Stdlib.Hashtbl.hash (2, b)
+  | Int x -> Stdlib.Hashtbl.hash x lxor 0x2545f491
+  | Str s -> Stdlib.Hashtbl.hash s lxor 0x27220a95
+  | Bool b -> Stdlib.Hashtbl.hash b lxor 0x165667b1
 
 let is_identifier s =
   s <> ""

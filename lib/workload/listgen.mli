@@ -17,5 +17,13 @@ val queries : ?topics:int -> Prng.t -> n:int -> Query.t list
     topic from the pool (all pool topics exist in the table built by
     {!Social.install_posts} with the same [topics]). *)
 
-val make : ?rows:int -> ?topics:int -> seed:int -> int -> Database.t * Query.t list
-(** Database plus chain, ready for {!Coordination.Scc_algo.solve}. *)
+val make :
+  ?backend:Database.backend ->
+  ?rows:int ->
+  ?topics:int ->
+  seed:int ->
+  int ->
+  Database.t * Query.t list
+(** Database plus chain, ready for {!Coordination.Scc_algo.solve}.
+    [backend] selects the generated database's storage backend
+    (default row). *)

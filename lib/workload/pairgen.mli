@@ -28,6 +28,7 @@ open Relational
 open Entangled
 
 val make :
+  ?backend:Database.backend ->
   ?rows:int ->
   ?topics:int ->
   ?p_unsat:float ->
@@ -36,10 +37,16 @@ val make :
   int ->
   Database.t * Query.t list
 (** [make ~seed n] builds the Posts table ({!Social.install_posts}) and
-    [n] pairs.  [p_unsat] and [p_dependent] default to [0.]. *)
+    [n] pairs.  [p_unsat] and [p_dependent] default to [0.]; [backend]
+    selects the storage backend of the generated database (default row). *)
 
 val ring :
-  ?rows:int -> ?topics:int -> seed:int -> int -> Database.t * Query.t list
+  ?backend:Database.backend ->
+  ?rows:int ->
+  ?topics:int ->
+  seed:int ->
+  int ->
+  Database.t * Query.t list
 (** [ring ~seed n] is one [n]-query cycle: query [i] posts for query
     [i+1 mod n], so the coordination graph is a single SCC and the set
     is safe {e and} unique — the shape {!Coordination.Gupta} requires.

@@ -31,6 +31,33 @@ An unsafe program is rejected with advice.
   the query set is not safe (1 ambiguous postconditions); try `--algorithm consistent` or `--algorithm brute`
   [1]
 
+The columnar storage backend produces the same answer, the same
+deterministic statistics (probes, plan cache, tuples scanned — only
+wall-clock timings differ, stripped here), and the same rejections.
+
+  $ entangle solve figure1.eq --backend columnar
+  coordinating set {qC, qG}
+  assignment: {q0.x -> Paris, q0.x1 -> 70, q0.x2 -> 7, q1.y1 -> 70, q1.y2 -> 7}
+
+  $ entangle solve figure1.eq --stats | sed -E 's/ (graph|unify|ground|total)=[0-9.]+ms//g'
+  coordinating set {qC, qG}
+  assignment: {q0.x -> Paris, q0.x1 -> 70, q0.x2 -> 7, q1.y1 -> 70, q1.y2 -> 7}
+  stats: probes=2 candidates=2 cleaning_rounds=0 plan_hits=0 plan_misses=2 tuples_scanned=7
+
+  $ entangle solve figure1.eq --backend columnar --stats | sed -E 's/ (graph|unify|ground|total)=[0-9.]+ms//g'
+  coordinating set {qC, qG}
+  assignment: {q0.x -> Paris, q0.x1 -> 70, q0.x2 -> 7, q1.y1 -> 70, q1.y2 -> 7}
+  stats: probes=2 candidates=2 cleaning_rounds=0 plan_hits=0 plan_misses=2 tuples_scanned=7
+
+  $ entangle solve unsafe.eq --backend columnar
+  the query set is not safe (1 ambiguous postconditions); try `--algorithm consistent` or `--algorithm brute`
+  [1]
+
+  $ entangle solve consistent.eq --algorithm consistent --backend columnar
+  coordinating set {u_Alice, u_Bob}
+  assignment: {q0.a0 -> Paris, q0.b0_1 -> Tue, q0.x -> 1, q0.y0 -> 2,
+               q1.a0 -> Paris, q1.b0_1 -> Mon, q1.x -> 2, q1.y0 -> 1}
+
 The explain trace shows the combined SQL per component (timings stripped).
 
   $ entangle solve figure1.eq --explain | grep -v "probes="
