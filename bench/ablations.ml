@@ -301,11 +301,12 @@ let realistic ?(rows = 500) ?(users = 50) () =
    branch.  Measure the same SCC solve disarmed, with metrics on, and
    with each serializing sink writing into an in-memory buffer, plus a
    direct ns/call figure for a disarmed [with_span]. *)
-let observability ?(rows = 20_000) ?(n = 40) ?(repeats = 5) () =
+let observability ?(rows = 20_000) ?(n = 40) ?(repeats = 5) ?(iters = 25) () =
   Printf.printf "\n== Ablation: observability overhead (traced vs untraced) ==\n";
   Printf.printf
-    "(chain of %d queries, table of %d rows; best of %d runs per variant)\n"
-    n rows repeats;
+    "(chain of %d queries, table of %d rows; paired ratios over %d runs \
+     of %d solves per variant)\n"
+    n rows repeats iters;
   let db = Database.create () in
   ignore (Workload.Social.install_posts ~rows db);
   let rng = Prng.create 13 in
@@ -314,45 +315,111 @@ let observability ?(rows = 20_000) ?(n = 40) ?(repeats = 5) () =
   Obs.set_metrics false;
   (* Warm plan cache and indexes so every variant sees the same state. *)
   ignore (Coordination.Scc_algo.solve db input);
-  let measure () =
-    let best = ref infinity in
-    for _ = 1 to repeats do
+  (* Each sample times a loop of [iters] solves: single solves on the
+     CI workload are a few hundred microseconds, where scheduler jitter
+     alone swamps the <5% armed-overhead budget the gate enforces.  The
+     variants are sampled round-robin — every repeat visits all of them
+     — so slow machine-wide drift (frequency scaling, noisy CI
+     neighbours) lands on every variant instead of biasing whichever
+     one happened to run last. *)
+  let iter_ts = Array.make iters 0.0 in
+  let sample () =
+    (* Settle major-GC debt left by the previous variant (ring arrays,
+       sink buffers) so each timed loop pays for its own allocation
+       only. *)
+    Gc.full_major ();
+    (* Time each solve individually and keep the trimmed mean of the
+       fastest half: scheduler preemptions and GC slices land on single
+       iterations and would otherwise charge a random variant for a
+       burst it did not cause.  The armed paths allocate nothing on the
+       probe hot path (the alloc gate holds them to it), so discarding
+       burst-hit iterations does not hide a real cost. *)
+    for k = 0 to iters - 1 do
       let _, t = time (fun () -> ignore (Coordination.Scc_algo.solve db input)) in
-      if t < !best then best := t
+      iter_ts.(k) <- t
     done;
-    !best
+    Array.sort compare iter_ts;
+    let half = max 1 (iters / 2) in
+    let s = ref 0.0 in
+    for k = 0 to half - 1 do
+      s := !s +. iter_ts.(k)
+    done;
+    !s /. float_of_int half
   in
-  Series.start "ablation_observability" [ "variant"; "time_ms"; "vs_disarmed" ];
-  let report label t base =
-    Printf.printf "  %-18s %10.3f ms   (%+.1f%% vs disarmed)\n" label t
-      ((t -. base) /. base *. 100.0);
-    Series.row "ablation_observability"
-      [
-        label;
-        Printf.sprintf "%.3f" t;
-        Printf.sprintf "%.3f" (t /. base);
-      ]
-  in
-  let disarmed = measure () in
-  report "disarmed" disarmed disarmed;
-  Obs.set_metrics true;
-  let metrics = measure () in
-  Obs.set_metrics false;
-  report "metrics" metrics disarmed;
   let sink_buf = Buffer.create (1 lsl 16) in
-  let jsonl =
-    Obs.with_sink
-      (Obs.jsonl_sink (Buffer.add_string sink_buf))
-      measure
+  let sink_sample mk =
+    Buffer.clear sink_buf;
+    Obs.with_sink (mk (Buffer.add_string sink_buf)) sample
   in
-  report "jsonl sink" jsonl disarmed;
-  Buffer.clear sink_buf;
-  let chrome =
-    Obs.with_sink
-      (Obs.chrome_sink (Buffer.add_string sink_buf))
-      measure
+  (* label, gated by the bench gate's overhead cap, one timed sample *)
+  let variants =
+    [|
+      ("disarmed", false, sample);
+      ( "registry", true,
+        fun () ->
+          Obs.set_metrics true;
+          Fun.protect ~finally:(fun () -> Obs.set_metrics false) sample );
+      ( "flight recorder", true,
+        fun () ->
+          Obs.Flight_recorder.arm ();
+          Fun.protect ~finally:Obs.Flight_recorder.disarm sample );
+      ( "registry+recorder", true,
+        fun () ->
+          Obs.Flight_recorder.arm ();
+          Obs.set_metrics true;
+          Fun.protect
+            ~finally:(fun () ->
+              Obs.set_metrics false;
+              Obs.Flight_recorder.disarm ())
+            sample );
+      ("jsonl sink", false, fun () -> sink_sample Obs.jsonl_sink);
+      ("chrome sink", false, fun () -> sink_sample Obs.chrome_sink);
+    |]
   in
-  report "chrome sink" chrome disarmed;
+  (* Paired measurement: on a shared box, machine-wide drift (frequency
+     scaling, noisy neighbours) over the seconds the full matrix takes
+     dwarfs the <5% budget the gate enforces, and no aggregate over
+     independently-pooled samples — min, median — cancels it.  So each
+     armed sample is divided by a fresh disarmed sample taken
+     immediately before it; drift moves both ends of a pair together
+     and the ratio survives.  The median of the paired ratios is what
+     the gate sees. *)
+  let n_var = Array.length variants in
+  let vsamples = Array.init n_var (fun _ -> Array.make repeats 0.0) in
+  let ratios = Array.init n_var (fun _ -> Array.make repeats 1.0) in
+  for rep = 0 to repeats - 1 do
+    vsamples.(0).(rep) <- sample ();
+    for i = 1 to n_var - 1 do
+      let _, _, sampler = variants.(i) in
+      let d = sample () in
+      let a = sampler () in
+      vsamples.(i).(rep) <- a;
+      ratios.(i).(rep) <- a /. d
+    done
+  done;
+  let med xs =
+    let s = Array.copy xs in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  (* [armed_overhead_ratio] is populated only for the always-on
+     variants (registry, flight recorder, both): those are the
+     configurations the layer promises to keep under 5%, and the bench
+     gate enforces that cap on this column's median.  The serializing
+     sinks are debugging tools, priced separately under [vs_disarmed]
+     only. *)
+  Series.start "ablation_observability"
+    [ "variant"; "time_ms"; "vs_disarmed"; "armed_overhead_ratio" ];
+  Array.iteri
+    (fun i (label, gated, _) ->
+      let t = med vsamples.(i) in
+      let r = if i = 0 then 1.0 else med ratios.(i) in
+      Printf.printf "  %-18s %10.3f ms   (%+.1f%% vs disarmed)\n" label t
+        ((r -. 1.0) *. 100.0);
+      let ratio = Printf.sprintf "%.3f" r in
+      Series.row "ablation_observability"
+        [ label; Printf.sprintf "%.3f" t; ratio; (if gated then ratio else "") ])
+    variants;
   (* Disarmed with_span, measured directly: the per-site cost the rest
      of the engine pays everywhere. *)
   let calls = 10_000_000 in
@@ -365,7 +432,7 @@ let observability ?(rows = 20_000) ?(n = 40) ?(repeats = 5) () =
   let ns_per_call = span_ms *. 1e6 /. float_of_int calls in
   Printf.printf "  disarmed with_span      %10.2f ns/call\n" ns_per_call;
   Series.row "ablation_observability"
-    [ "with_span ns/call"; Printf.sprintf "%.2f" ns_per_call; "" ];
+    [ "with_span ns/call"; Printf.sprintf "%.2f" ns_per_call; ""; "" ];
   Obs.set_metrics was_metrics
 
 (* --------------------------- Resilience --------------------------- *)

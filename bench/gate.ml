@@ -24,9 +24,16 @@
      deterministic, so the slack only absorbs measurement boxing
      amortized across the probe loop; a single boxed value per probe
      (2-3 words) is a real regression and fails.
+   - overhead columns (`overhead_ratio` suffix): fail when the fresh
+     median exceeds an absolute cap (--overhead-cap, default 1.05).
+     These are armed-vs-disarmed ratios of the always-on telemetry
+     (metrics registry, flight recorder): the observability layer's
+     committed promise is <5% on hot paths, and like the speedup
+     floors a ratio of two same-machine timings ports across hardware
+     where raw timings do not.
 
      gate.exe --baseline BENCH_eval.json --fresh bench.json [--tolerance 0.25]
-       [--speedup-floor 3.0] [--alloc-slack 0.5]
+       [--speedup-floor 3.0] [--alloc-slack 0.5] [--overhead-cap 1.05]
 
    The parser below covers exactly the JSON Series.to_json emits
    (objects, arrays, numbers, strings); it is not a general-purpose
@@ -210,6 +217,7 @@ type rule =
   | Timing of float  (* noise floor in the column's own unit *)
   | Speedup          (* fresh median must stay above the absolute floor *)
   | Alloc            (* fresh median must stay within slack of baseline *)
+  | Overhead         (* fresh median must stay below the absolute cap *)
 
 (* Sub-noise-floor medians are skipped: a 25% "regression" of 40
    microseconds is scheduler jitter, not a slowdown. *)
@@ -218,6 +226,7 @@ let rule_of_column name =
     && String.sub name (String.length name - String.length s) (String.length s) = s
   in
   if suffixed "minor_words_per_probe" then Some Alloc
+  else if suffixed "overhead_ratio" then Some Overhead
   else if suffixed "_speedup" then Some Speedup
   else if suffixed "_ms" then Some (Timing 1.0)
   else if suffixed "_us" then Some (Timing 1000.0)
@@ -230,6 +239,7 @@ let () =
   let tolerance = ref 0.25 in
   let speedup_floor = ref 3.0 in
   let alloc_slack = ref 0.5 in
+  let overhead_cap = ref 1.05 in
   let spec =
     [
       ("--baseline", Arg.Set_string baseline_path, "FILE  committed baseline");
@@ -241,6 +251,8 @@ let () =
       ("--alloc-slack", Arg.Set_float alloc_slack,
        "W  fail when a *minor_words_per_probe median exceeds baseline + W \
         words  (default 0.5)");
+      ("--overhead-cap", Arg.Set_float overhead_cap,
+       "C  fail when an *overhead_ratio median exceeds C  (default 1.05)");
     ]
   in
   Arg.parse spec
@@ -314,6 +326,19 @@ let () =
                          (baseline %.2f, slack %.1f): the probe path is no \
                          longer allocation-free"
                         name col f b !alloc_slack
+                      :: !failures
+                | Overhead ->
+                  incr checked;
+                  Printf.printf
+                    "  %-32s %-30s base %12.3fx fresh %12.3fx (cap %.2fx)\n"
+                    name col b f !overhead_cap;
+                  if f > !overhead_cap then
+                    failures :=
+                      Printf.sprintf
+                        "%s.%s armed overhead %.3fx exceeds the %.2fx cap \
+                         (baseline %.3fx): always-on telemetry is taxing the \
+                         hot path"
+                        name col f !overhead_cap b
                       :: !failures)))
           (columns_of base_series))
     baseline;

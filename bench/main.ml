@@ -99,7 +99,7 @@ let () =
         if fast then Ablations.parallel_scaling ~rows:1_000 ()
         else Ablations.parallel_scaling ()
       | "observability" ->
-        if fast then Ablations.observability ~rows:5_000 ~n:15 ~repeats:3 ()
+        if fast then Ablations.observability ~rows:5_000 ~n:15 ~repeats:13 ~iters:50 ()
         else Ablations.observability ()
       | "resilience" ->
         if fast then Ablations.resilience ~rows:5_000 ~n:15 ~repeats:3 ()

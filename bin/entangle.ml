@@ -157,6 +157,40 @@ let solve_cmd =
             "Print a step-by-step trace of the SCC algorithm, including \
              the SQL each candidate set sends to the database.")
   in
+  let explain_analyze =
+    Arg.(
+      value & flag
+      & info [ "explain-analyze" ]
+          ~doc:
+            "After solving, print every cached query plan with its \
+             observed statistics: join order, access paths, estimated vs \
+             observed cardinality per step, tuples scanned and emitted, \
+             selectivity, and per-step times (the solve runs under \
+             analyze-mode timing).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a metrics-registry snapshot after the solve: JSON to \
+             $(docv) and Prometheus text exposition to $(docv).prom.  \
+             Implies metrics recording (as $(b,--metrics)) without the \
+             stdout dump.")
+  in
+  let flight_recorder =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-recorder" ] ~docv:"FILE"
+          ~doc:
+            "Arm the always-on flight recorder: every domain keeps a \
+             fixed-size ring of its most recent observability items, and \
+             on the first incident (degraded solve, typed abort, worker \
+             crash) the merged window is dumped to $(docv) — Chrome \
+             trace_event JSON, or JSONL when $(docv) ends in $(b,.jsonl).")
+  in
   let trace =
     Arg.(
       value
@@ -240,11 +274,17 @@ let solve_cmd =
   (* The solver body computes an exit code instead of exiting so an
      installed trace sink always writes its trailer (a Chrome trace
      without the closing bracket is not valid JSON). *)
-  let run file algorithm first parallel domains stats dot explain trace
-      trace_format metrics deadline_ms max_probes max_tuples probe_timeout_ms
-      max_attempts fault_rate fault_seed backend =
+  let run file algorithm first parallel domains stats dot explain
+      explain_analyze metrics_out flight_recorder trace trace_format metrics
+      deadline_ms max_probes max_tuples probe_timeout_ms max_attempts
+      fault_rate fault_seed backend =
     handle_syntax @@ fun () ->
     let db, input = load ~backend file in
+    (match flight_recorder with
+    | None -> ()
+    | Some path ->
+      Obs.Flight_recorder.set_dump_path (Some path);
+      Obs.Flight_recorder.arm ());
     (* The resolved pool size, for the stats line; [None] when running
        sequentially so the line matches the sequential run exactly. *)
     let pool_domains =
@@ -255,7 +295,7 @@ let solve_cmd =
           | Some d -> max 1 d
           | None -> Coordination.Executor.default_domains ())
     in
-    if metrics then Obs.set_metrics true;
+    if metrics || metrics_out <> None then Obs.set_metrics true;
     let guard =
       if
         deadline_ms = None && max_probes = None && max_tuples = None
@@ -427,9 +467,13 @@ let solve_cmd =
           end
       end
     in
+    let run_solve () =
+      if explain_analyze then Coordination.Explain.with_analyze solve_it
+      else solve_it ()
+    in
     let code =
       match trace with
-      | None -> solve_it ()
+      | None -> run_solve ()
       | Some path ->
         let oc = open_out path in
         let sink =
@@ -439,13 +483,35 @@ let solve_cmd =
         in
         Fun.protect
           ~finally:(fun () -> close_out oc)
-          (fun () -> Obs.with_sink sink solve_it)
+          (fun () -> Obs.with_sink sink run_solve)
     in
+    if explain_analyze then
+      Format.printf "%a@." Coordination.Explain.pp_analyze db;
     (match guard with
     | Some g when stats ->
       Format.printf "guard: %a@." Resilient.pp_usage (Resilient.usage g)
     | Some _ | None -> ());
     if metrics then Format.printf "-- metrics --@.%a@?" Obs.pp_metrics ();
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      (* Deterministic gauges describing the end state, so the snapshot
+         is meaningful (and testable) even for a fault-free solve. *)
+      let gauge name help v =
+        Obs.Gauge.set (Obs.Gauge.make ~help name) (float_of_int v)
+      in
+      gauge "db.plan_cache_size" "cached plan shapes" (Database.plan_cache_size db);
+      gauge "db.tables" "relations in the database" (List.length (Database.relations db));
+      gauge "db.tuples" "live tuples in the database" (Database.total_tuples db);
+      gauge "db.data_version" "content-version stamp" (Database.data_version db);
+      let write p s =
+        let oc = open_out p in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc s)
+      in
+      write path (Obs.metrics_json ());
+      write (path ^ ".prom") (Obs.metrics_prometheus ()));
     if code <> 0 then exit code
   in
   let doc = "Find a coordinating set for an entangled-query program." in
@@ -453,8 +519,9 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Cmdliner.Term.(
       const run $ file $ algorithm $ first $ parallel $ domains $ stats $ dot
-      $ explain $ trace $ trace_format $ metrics $ deadline_ms $ max_probes
-      $ max_tuples $ probe_timeout_ms $ max_attempts $ fault_rate $ fault_seed
+      $ explain $ explain_analyze $ metrics_out $ flight_recorder $ trace
+      $ trace_format $ metrics $ deadline_ms $ max_probes $ max_tuples
+      $ probe_timeout_ms $ max_attempts $ fault_rate $ fault_seed
       $ backend_arg)
 
 (* ------------------------------ check ----------------------------- *)
@@ -595,7 +662,22 @@ let repl_cmd =
              $(b,full-rebuild) (re-derive the coordination graph on every \
              evaluation; reference implementation).")
   in
-  let run consume mode backend =
+  let flight_recorder =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-recorder" ] ~docv:"FILE"
+          ~doc:
+            "Arm the flight recorder for the whole session; on the first \
+             incident (e.g. a degraded evaluation under a guard) the \
+             recent-item window is dumped to $(docv).")
+  in
+  let run consume mode flight_recorder backend =
+    (match flight_recorder with
+    | None -> ()
+    | Some path ->
+      Obs.Flight_recorder.set_dump_path (Some path);
+      Obs.Flight_recorder.arm ());
     let db = Database.create ~backend () in
     let engine = Coordination.Online.create ~consume ~mode db in
     let report_fired (c : Coordination.Online.coordinated) =
@@ -685,7 +767,7 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc)
-    Cmdliner.Term.(const run $ consume $ mode $ backend_arg)
+    Cmdliner.Term.(const run $ consume $ mode $ flight_recorder $ backend_arg)
 
 let () =
   let doc = "data-driven coordination with entangled queries" in

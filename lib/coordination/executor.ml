@@ -80,6 +80,12 @@ module Pool = struct
          so the array needs no lock of its own. *)
       let results = Array.make n None in
       let worker w () =
+        (* A fresh domain starts with empty domain-local Obs state; give
+           it a flight-recorder ring when the recorder is armed so the
+           incident dump covers every domain's final moments.  (Worker 0
+           runs on the orchestrating domain, whose ring already
+           exists — arm_domain is idempotent.) *)
+        Obs.Flight_recorder.arm_domain ();
         let run t = results.(t) <- Some (try Ok (f t) with e -> Error e) in
         let rec own () =
           match pop deques.(w) with
@@ -174,7 +180,9 @@ let absorb_guards children =
 let raise_first_crash results =
   Array.iter
     (function
-      | Error e -> raise (Worker_crashed (Printexc.to_string e))
+      | Error e ->
+        Obs.Flight_recorder.incident "worker_crashed";
+        raise (Worker_crashed (Printexc.to_string e))
       | Ok _ -> ())
     results
 

@@ -55,6 +55,24 @@ let pp_event db queries ppf (event : Scc_algo.event) =
       | Some _ -> "satisfiable: candidate recorded"
       | None -> "unsatisfiable: candidate fails")
 
+(* EXPLAIN ANALYZE: render every cached plan's observed statistics
+   against its compile-time estimates.  The caller brackets the solve
+   with [with_analyze] so per-step wall-clock columns are populated;
+   the counter columns are always on and need no arming. *)
+let pp_analyze ppf db =
+  let plans = Database.cached_plans db in
+  Format.fprintf ppf "@[<v>-- EXPLAIN ANALYZE (%d cached plans, backend %s) --"
+    (List.length plans)
+    (Database.backend_to_string (Database.backend db));
+  List.iter
+    (fun (_, plan) -> Format.fprintf ppf "@,%a" Plan.pp_analyze plan)
+    plans;
+  Format.fprintf ppf "@]"
+
+let with_analyze f =
+  Plan.set_analyze true;
+  Fun.protect ~finally:(fun () -> Plan.set_analyze false) f
+
 let pp db ppf report =
   let queries = report.outcome.Scc_algo.queries in
   Format.fprintf ppf "@[<v>-- SCC coordination trace (%d queries) --"

@@ -25,3 +25,15 @@ val trace :
 val pp : Database.t -> Format.formatter -> report -> unit
 (** Renders the pruning step, each component's fate (skipped, unifier
     clash, SQL probe + satisfiable-or-not), and the chosen solution. *)
+
+val pp_analyze : Format.formatter -> Database.t -> unit
+(** EXPLAIN ANALYZE: every cached plan ({!Database.cached_plans}, in
+    deterministic key order) rendered with {!Plan.pp_analyze} —
+    join order, access paths, estimated vs observed cardinalities,
+    scan/emit counts, selectivity, and (when the run happened under
+    {!with_analyze}) per-step times.  Exposed through
+    [entangle solve --explain-analyze]. *)
+
+val with_analyze : (unit -> 'a) -> 'a
+(** Run [f] with {!Relational.Plan.set_analyze} armed, disarming on the
+    way out (exceptions included). *)

@@ -102,9 +102,8 @@ let mark_dirty engine id = Hashtbl.replace engine.dirty id ()
 (* If the database moved since the engine last looked (external inserts
    or deletes — e.g. repl [fact] statements), every cached "this
    component cannot fire" verdict is stale: mark the whole pool dirty.
-   The counter is process-wide, so unrelated databases can trigger
-   spurious refreshes — those only cost re-evaluation, never
-   correctness. *)
+   The stamp is per-database, so only mutations of *this* engine's
+   database trigger a refresh. *)
 let refresh_db_version engine =
   match engine.mode with
   | Full_rebuild -> ()

@@ -58,11 +58,15 @@ type item = Span of span | Event of event
 (** {1 Arming} *)
 
 val enabled : unit -> bool
-(** Anything armed at all (sink installed or metrics on).  The guard for
+(** Anything armed at all (sink installed, metrics on, or the
+    {!Flight_recorder} recording on this domain).  The guard for
     instrumentation whose cost must vanish otherwise. *)
 
 val tracing : unit -> bool
-(** At least one sink is installed. *)
+(** At least one sink is installed.  Deliberately {e false} when only
+    the {!Flight_recorder} is armed: capture-and-replay machinery keyed
+    on this (the parallel executor) must not engage for the recorder,
+    whose whole point is per-domain in-place recording. *)
 
 val metrics_on : unit -> bool
 
@@ -84,6 +88,11 @@ module Histogram : sig
   val find : string -> t option
 
   val observe : t -> int64 -> unit
+
+  val observe_i : t -> int -> unit
+  (** Unboxed fast path, equivalent to [observe h (Int64.of_int v)].
+      Armed spans record through this so the hot path allocates
+      nothing. *)
 
   val count : t -> int
 
@@ -130,12 +139,47 @@ module Counter : sig
   val reset : t -> unit
 end
 
+module Gauge : sig
+  (** Last-write-wins instantaneous values (cache sizes, ratios,
+      versions) in the same process-wide registry discipline as
+      {!Counter}. *)
+
+  type t
+
+  val make : ?help:string -> string -> t
+
+  val find : string -> t option
+
+  val set : t -> float -> unit
+
+  val add : t -> float -> unit
+
+  val value : t -> float
+
+  val reset : t -> unit
+end
+
 val reset_metrics : unit -> unit
-(** Zero every registered counter and histogram (registrations remain). *)
+(** Zero every registered counter, gauge and histogram (registrations
+    remain). *)
 
 val pp_metrics : Format.formatter -> unit -> unit
-(** Dump the registry: one line per counter, one per histogram with
-    count and p50/p95/p99/max in microseconds. *)
+(** Dump the registry: one line per counter and gauge, one per
+    histogram with count and p50/p95/p99/max in microseconds. *)
+
+val metrics_json : unit -> string
+(** The whole registry as one JSON document:
+    [{"counters": [{"name", "value"}...], "gauges": [...],
+    "histograms": [{"name", "count", "sum", "max", "p50", "p95",
+    "p99"}...]}], names sorted.  Histogram values are nanoseconds (or
+    whatever unit the histogram observes). *)
+
+val metrics_prometheus : unit -> string
+(** The registry in Prometheus exposition text: every name prefixed
+    [entangle_] and sanitised, [# HELP]/[# TYPE] headers, labeled
+    registry entries (["name{label}"]) rendered as [label="..."] pairs,
+    histograms as summaries with [quantile] labels plus [_sum] and
+    [_count]. *)
 
 (** {1 Spans and events} *)
 
@@ -148,15 +192,17 @@ val with_span :
 (** [with_span name f] times [f] and reports it to every sink as a span
     nested under the enclosing [with_span].  [args] is a thunk,
     evaluated once after [f] returns (so it can report deltas) and only
-    when a sink is installed.  [hist], if given, receives the span
-    duration in nanoseconds whenever metrics are on — even with no sink
-    installed.  Disarmed cost: one branch.  Exceptions propagate; the
-    span still closes. *)
+    when a sink is installed (the {!Flight_recorder} alone records the
+    span without args — see its docs).  [hist], if given, receives the
+    span duration in nanoseconds whenever metrics are on — even with no
+    sink installed.  Disarmed cost: one branch.  Exceptions propagate;
+    the span still closes. *)
 
 val event :
   ?args:(unit -> (string * arg) list) -> ?payload:payload -> string -> unit
-(** Instant event at the current nesting depth; dropped unless a sink is
-    installed. *)
+(** Instant event at the current nesting depth; dropped unless a sink
+    is installed or the {!Flight_recorder} is recording on this domain
+    (ring-only, args stay unforced — see the recorder's docs). *)
 
 val depth : unit -> int
 (** Current span nesting depth on the calling domain (0 outside any
@@ -213,3 +259,70 @@ val chrome_sink : (string -> unit) -> sink
 val memory_sink : unit -> sink * (unit -> item list)
 (** In-memory sink and a drain returning items in emission order
     (spans appear at their close time), payloads intact. *)
+
+(** {1 Flight recorder}
+
+    A fixed-capacity, drop-oldest ring buffer of {!item}s per domain,
+    recording every span and event the domain emits whether or not any
+    sink is installed.  The ring is an array of preallocated mutable
+    slot records and a push overwrites one slot's fields in place, so
+    recording allocates nothing and dirties one cache line;
+    to keep that cost (~100ns/item), ring-only recording stores names,
+    times and depths but does {e not} force [args] thunks — full args
+    appear whenever a sink is also installed, and {!incident} pushes
+    its [reason] arg explicitly so aborts keep their cause.  Disarmed
+    it adds one load and branch to the instrumentation guard.  Unlike a
+    sink, the recorder survives {!exclusive} (the executor's capture)
+    and does not make {!tracing} true, so arming it never changes
+    solver/executor behaviour.
+
+    On an {!Flight_recorder.incident} — reported by the resilience
+    layer on a typed [Abort], by the executor on [Worker_crashed] — the
+    merged window of all rings is written once to the configured dump
+    path (Chrome trace_event JSON, or JSONL when the path ends in
+    [.jsonl]), giving a post-hoc view of the moments preceding the
+    failure. *)
+module Flight_recorder : sig
+  val arm : ?capacity:int -> unit -> unit
+  (** Arm the recorder process-wide and attach a ring (default capacity
+      1024 items — about 50KB of slots, small enough to live in L2
+      under the evaluator's working set) to the calling domain.
+      Re-arming resets the dumped-once latch.
+      @raise Invalid_argument if [capacity < 1]. *)
+
+  val arm_domain : unit -> unit
+  (** Attach a ring to the calling domain if the recorder is armed
+      process-wide; no-op otherwise.  Worker domains call this on
+      entry. *)
+
+  val disarm : unit -> unit
+  (** Disarm process-wide, detach the calling domain's ring and drop
+      every registered ring. *)
+
+  val armed : unit -> bool
+
+  val set_dump_path : string option -> unit
+  (** Where {!incident} writes the merged window ([None] disables
+      dumping; incidents are still counted and marked in the ring). *)
+
+  val incident : string -> unit
+  (** Report a failure worth a flight dump.  Counts
+      [flight.incidents], appends a ["flight.incident"] event (carrying
+      [reason]) to the calling domain's ring, and — first incident
+      since arming only — dumps the merged window to the dump path.
+      No-op when disarmed. *)
+
+  val local_items : unit -> item list
+  (** The calling domain's ring, oldest first (empty when detached). *)
+
+  val domains : unit -> (int * item list) list
+  (** Every registered ring as [(domain id, items oldest first)],
+      sorted by domain id.  Rings of still-running domains are
+      snapshot racily — fine for diagnostics and tests that quiesce
+      first. *)
+
+  val dump_to_file : string -> unit
+  (** Write the merged window of all rings now (Chrome trace_event
+      JSON; JSONL when the path ends in [.jsonl]), one [tid] lane per
+      domain, timestamps rebased to the earliest recorded item. *)
+end

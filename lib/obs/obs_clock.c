@@ -19,3 +19,17 @@ CAMLprim value entangle_obs_monotonic_ns(value unit)
   return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL
                          + (int64_t)ts.tv_nsec);
 }
+
+/* Same clock as a tagged immediate ([@@noalloc] on the OCaml side):
+   the flight recorder timestamps every span and must not box.  63-bit
+   nanoseconds overflow in ~146 years of uptime. */
+CAMLprim value entangle_obs_monotonic_ns_int(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -51,6 +51,10 @@ type t = {
   mutable table : int array;          (* open addressing: 0 empty,
                                          -1 tombstone, row + 1 *)
   mutable table_entries : int;        (* filled slots incl. tombstones *)
+  (* Observed mutation statistics (monotone, unaffected by prune and
+     compact), mirroring the row store's accounting. *)
+  mutable n_inserts : int;
+  mutable n_deletes : int;
 }
 
 let ba_create n : int_ba = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
@@ -68,6 +72,8 @@ let create schema =
     postings = Array.make arity [||];
     table = Array.make 32 0;
     table_entries = 0;
+    n_inserts = 0;
+    n_deletes = 0;
   }
 
 let schema t = t.schema
@@ -303,6 +309,7 @@ let insert t tuple =
       posting_append t c ids.(c) row
     done;
     table_add t row;
+    t.n_inserts <- t.n_inserts + 1;
     true
   end
 
@@ -325,6 +332,7 @@ let delete t tuple =
         end
       done;
       if t.dead > t.nrows / 2 then compact t;
+      t.n_deletes <- t.n_deletes + 1;
       true
     end
 
@@ -350,6 +358,17 @@ let to_list t =
   let acc = ref [] in
   iter (fun tuple -> acc := tuple :: !acc) t;
   List.rev !acc
+
+let inserts t = t.n_inserts
+
+let deletes t = t.n_deletes
+
+(* Non-empty buckets of one column — the eager postings make this a
+   plain scan over the interned-id range seen in that column. *)
+let distinct_count t ~col =
+  Array.fold_left
+    (fun acc p -> if p.count > 0 then acc + 1 else acc)
+    0 t.postings.(col)
 
 let count_matching t ~col v = count_matching_id t col (Dict.find v)
 

@@ -66,6 +66,19 @@ val find_row : t -> int array -> int
     columns equal [ids] (an [arity]-sized scratch array owned by the
     caller), or [-1].  Allocation-free. *)
 
+(** {1 Observed statistics} *)
+
+val inserts : t -> int
+(** Successful inserts since creation (monotone — prune/compact do not
+    rewind it). *)
+
+val deletes : t -> int
+(** Successful deletes since creation (monotone). *)
+
+val distinct_count : t -> col:int -> int
+(** Number of distinct values with at least one live row in [col],
+    from the eager postings — mirrors {!Relation.distinct_count}. *)
+
 (** {1 Value-level reads (tests, debugging, decode-at-output)} *)
 
 val iter : (Tuple.t -> unit) -> t -> unit

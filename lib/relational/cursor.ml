@@ -36,6 +36,10 @@ type step_exec = {
   store : Column_store.t;
   ops : Plan.op array;
   access : access_exec;
+  stat : Plan.step_stat;
+      (* the *plan's* step-stat record, shared with the row path: one
+         plan accrues one set of observed numbers whichever backend ran
+         it.  Plain int increments — the probe stays allocation-free. *)
 }
 
 type t = {
@@ -57,8 +61,8 @@ type t = {
 
 let of_plan db (plan : Plan.t) =
   let steps =
-    Array.map
-      (fun (st : Plan.step) ->
+    Array.mapi
+      (fun i (st : Plan.step) ->
         let rel =
           match Database.relation_opt db st.rel with
           | None -> raise (Plan.Unknown_relation st.rel)
@@ -89,7 +93,7 @@ let of_plan db (plan : Plan.t) =
                 Array.map (fun (_, a) -> encode_arg a) cols )
           | Plan.Full_scan -> A_scan
         in
-        { store; ops = st.ops; access })
+        { store; ops = st.ops; access; stat = (Plan.stats plan).steps_obs.(i) })
       plan.steps
   in
   let n = Array.length steps in
@@ -150,6 +154,7 @@ let src_id t src =
    order. *)
 let enter t i =
   let st = Array.unsafe_get t.steps i in
+  st.stat.Plan.s_entered <- st.stat.Plan.s_entered + 1;
   match st.access with
   | A_membership _ ->
     t.kind.(i) <- 2;
@@ -217,13 +222,18 @@ let advance t i (counters : Counters.t) =
       t.pos.(i) <- 1;
       counters.Counters.tuples_scanned <-
         counters.Counters.tuples_scanned + 1;
-      match st.access with
-      | A_membership (srcs, scratch) ->
-        for c = 0 to Array.length srcs - 1 do
-          scratch.(c) <- src_id t (Array.unsafe_get srcs c)
-        done;
-        Column_store.find_row st.store scratch >= 0
-      | A_index_one _ | A_adaptive _ | A_scan -> assert false
+      st.stat.Plan.s_scanned <- st.stat.Plan.s_scanned + 1;
+      let hit =
+        match st.access with
+        | A_membership (srcs, scratch) ->
+          for c = 0 to Array.length srcs - 1 do
+            scratch.(c) <- src_id t (Array.unsafe_get srcs c)
+          done;
+          Column_store.find_row st.store scratch >= 0
+        | A_index_one _ | A_adaptive _ | A_scan -> assert false
+      in
+      if hit then st.stat.Plan.s_emitted <- st.stat.Plan.s_emitted + 1;
+      hit
     end
     else false
   | 0 ->
@@ -239,7 +249,11 @@ let advance t i (counters : Counters.t) =
       if Column_store.is_live st.store row then begin
         counters.Counters.tuples_scanned <-
           counters.Counters.tuples_scanned + 1;
-        if match_row t st row then found := true
+        st.stat.Plan.s_scanned <- st.stat.Plan.s_scanned + 1;
+        if match_row t st row then begin
+          st.stat.Plan.s_emitted <- st.stat.Plan.s_emitted + 1;
+          found := true
+        end
       end
     done;
     t.pos.(i) <- !pos;
@@ -255,36 +269,80 @@ let advance t i (counters : Counters.t) =
       if Column_store.is_live st.store row then begin
         counters.Counters.tuples_scanned <-
           counters.Counters.tuples_scanned + 1;
-        if match_row t st row then found := true
+        st.stat.Plan.s_scanned <- st.stat.Plan.s_scanned + 1;
+        if match_row t st row then begin
+          st.stat.Plan.s_emitted <- st.stat.Plan.s_emitted + 1;
+          found := true
+        end
       end
     done;
     t.pos.(i) <- !pos;
     !found
 
+(* Analyze-mode advance: time the call and charge the step.  Unlike the
+   row path's inclusive [Fun.protect] timing this is exclusive (one
+   advance, children excluded) — the flat machine has no per-step call
+   nesting to protect — but both paths agree on the counters, which is
+   what the differential tests compare. *)
+let advance_timed t i counters =
+  if not (Plan.analyze_enabled ()) then advance t i counters
+  else begin
+    let t0 = Obs.now_ns () in
+    let r = advance t i counters in
+    let stat = (Array.unsafe_get t.steps i).stat in
+    stat.Plan.s_ns <- Int64.add stat.Plan.s_ns (Int64.sub (Obs.now_ns ()) t0);
+    r
+  end
+
+(* Whole-run observed-stat prologue/epilogue, mirroring [Plan.execute]:
+   executions always counts (plain int); wall time only accrues while a
+   serializing sink is attached or EXPLAIN ANALYZE asked for it.
+   [Obs.tracing], not [Obs.enabled]: [Obs.now_ns] boxes its int64, and
+   the always-on telemetry (metrics registry, flight recorder) must
+   keep the allocation-free probe path. *)
+let run_begin t =
+  let obs = Plan.stats t.plan in
+  obs.Plan.executions <- obs.Plan.executions + 1;
+  if Obs.tracing () || Plan.analyze_enabled () then Obs.now_ns () else 0L
+
+let run_end t t_run =
+  if t_run <> 0L then begin
+    let obs = Plan.stats t.plan in
+    obs.Plan.exec_ns <-
+      Int64.add obs.Plan.exec_ns (Int64.sub (Obs.now_ns ()) t_run)
+  end
+
 (* Count solutions, stopping once [limit] are found.  The whole loop is
    first-order over preallocated state: zero allocation. *)
 let run_count t counters ~limit =
   if limit <= 0 then 0
-  else if t.nsteps = 0 then 1 (* empty body: the one empty solution *)
   else begin
-    let count = ref 0 in
-    let i = ref 0 in
-    let running = ref true in
-    enter t 0;
-    while !running do
-      if advance t !i counters then
-        if !i = t.nsteps - 1 then begin
-          incr count;
-          if !count >= limit then running := false
-        end
-        else begin
-          incr i;
-          enter t !i
-        end
-      else if !i = 0 then running := false
-      else decr i
-    done;
-    !count
+    let t_run = run_begin t in
+    let count =
+      if t.nsteps = 0 then 1 (* empty body: the one empty solution *)
+      else begin
+        let count = ref 0 in
+        let i = ref 0 in
+        let running = ref true in
+        enter t 0;
+        while !running do
+          if advance_timed t !i counters then
+            if !i = t.nsteps - 1 then begin
+              incr count;
+              if !count >= limit then running := false
+            end
+            else begin
+              incr i;
+              enter t !i
+            end
+          else if !i = 0 then running := false
+          else decr i
+        done;
+        !count
+      end
+    in
+    run_end t t_run;
+    count
   end
 
 (* Enumerate solutions through [f], which receives the decoded frame
@@ -293,25 +351,27 @@ let run_count t counters ~limit =
    already-interned ids (which is allocation-free: [Dict.value] returns
    the stored boxed value). *)
 let iter_frames t counters f =
-  if t.nsteps = 0 then ignore (f t.out_frame)
-  else begin
-    let nslots = t.nslots in
-    let i = ref 0 in
-    let running = ref true in
-    enter t 0;
-    while !running do
-      if advance t !i counters then
-        if !i = t.nsteps - 1 then begin
-          for s = 0 to nslots - 1 do
-            t.out_frame.(s) <- Dict.value t.frame.(s)
-          done;
-          if not (f t.out_frame) then running := false
-        end
-        else begin
-          incr i;
-          enter t !i
-        end
-      else if !i = 0 then running := false
-      else decr i
-    done
-  end
+  let t_run = run_begin t in
+  (if t.nsteps = 0 then ignore (f t.out_frame)
+   else begin
+     let nslots = t.nslots in
+     let i = ref 0 in
+     let running = ref true in
+     enter t 0;
+     while !running do
+       if advance_timed t !i counters then
+         if !i = t.nsteps - 1 then begin
+           for s = 0 to nslots - 1 do
+             t.out_frame.(s) <- Dict.value t.frame.(s)
+           done;
+           if not (f t.out_frame) then running := false
+         end
+         else begin
+           incr i;
+           enter t !i
+         end
+       else if !i = 0 then running := false
+       else decr i
+     done
+   end);
+  run_end t t_run

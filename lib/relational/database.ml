@@ -21,6 +21,12 @@ type t = {
   plan_epoch : int Atomic.t;
       (* bumped with every plan-cache invalidation; shared with worker
          views so stale cursor execs die with the plans they compiled *)
+  version : int Atomic.t;
+      (* per-database content version: passed into every relation this
+         database creates (each successful insert/delete bumps it) and
+         bumped directly on structural changes.  Shared with worker
+         views.  Unlike [Relation.mutation_count] this stamp moves only
+         when *this* database's contents move. *)
   mutable probe_latency : float;  (* seconds added per probe *)
   mutable guard : Resilient.t option;  (* resilience middleware, if armed *)
 }
@@ -36,6 +42,7 @@ let create ?(backend = Row) () =
     backend;
     uid = Atomic.fetch_and_add next_uid 1;
     plan_epoch = Atomic.make 0;
+    version = Atomic.make 0;
     probe_latency = 0.0;
     guard = None;
   }
@@ -55,6 +62,7 @@ let worker_view ?guard db =
     backend = db.backend;
     uid = db.uid;
     plan_epoch = db.plan_epoch;
+    version = db.version;
     probe_latency = db.probe_latency;
     guard;
   }
@@ -77,9 +85,13 @@ let create_table db schema =
   let name = Schema.name schema in
   if Hashtbl.mem db.tables name then
     invalid_arg (Printf.sprintf "Database.create_table: %s already exists" name);
-  let r = Relation.create ~columnar:(db.backend = Columnar) schema in
+  let r =
+    Relation.create ~columnar:(db.backend = Columnar) ~version:db.version
+      schema
+  in
   Hashtbl.add db.tables name r;
   invalidate_plans db;
+  Atomic.incr db.version;
   Relation.note_mutation ();
   r
 
@@ -89,6 +101,7 @@ let drop_table db name =
   if Hashtbl.mem db.tables name then begin
     Hashtbl.remove db.tables name;
     invalidate_plans db;
+    Atomic.incr db.version;
     Relation.note_mutation ()
   end
 
@@ -115,7 +128,7 @@ let active_domain db =
 let total_tuples db =
   List.fold_left (fun acc r -> acc + Relation.cardinal r) 0 (relations db)
 
-let data_version _db = Relation.mutation_count ()
+let data_version db = Atomic.get db.version
 
 (* ------------------------------------------------------------------ *)
 (* Plan cache                                                         *)
@@ -135,21 +148,41 @@ let prepare ?(cache = true) db q =
           match Hashtbl.find_opt db.plan_cache key with
           | Some plan ->
             db.counters.plan_hits <- db.counters.plan_hits + 1;
+            (* Stamp how current the data was when the plan last served
+               a hit — rendered by EXPLAIN ANALYZE as the drift window
+               against [compiled_version]. *)
+            Plan.note_seen plan ~version:(Atomic.get db.version);
             plan
           | None ->
             db.counters.plan_misses <- db.counters.plan_misses + 1;
-            let plan = Plan.compile (relation_opt db) ~key shape in
+            let plan =
+              Plan.compile
+                ~version:(Atomic.get db.version)
+                (relation_opt db) ~key shape
+            in
             Hashtbl.add db.plan_cache key plan;
             plan)
     end
     else begin
       db.counters.plan_misses <- db.counters.plan_misses + 1;
-      Plan.compile (relation_opt db) ~key shape
+      Plan.compile ~version:(Atomic.get db.version) (relation_opt db) ~key
+        shape
     end
   in
   (plan, binding)
 
 let plan_cache_size db = Hashtbl.length db.plan_cache
+
+(* Snapshot of the plan cache for EXPLAIN ANALYZE, key-sorted so the
+   rendering order is deterministic.  Taken under the plan lock: the
+   executor's shards may be compiling concurrently. *)
+let cached_plans db =
+  Mutex.lock db.plan_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock db.plan_lock)
+    (fun () ->
+      Hashtbl.fold (fun key plan acc -> (key, plan) :: acc) db.plan_cache []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                           *)

@@ -77,12 +77,14 @@ val active_domain : t -> Value.Set.t
 val total_tuples : t -> int
 
 val data_version : t -> int
-(** A stamp that moves whenever database contents may have changed —
-    any successful insert or delete, any table created or dropped.
-    Currently process-wide (see {!Relation.mutation_count}), so it can
-    move for mutations of {e other} databases too; callers use it to
-    invalidate content-derived caches, where a spurious move only costs
-    a re-computation. *)
+(** A stamp that moves whenever {e this} database's contents change —
+    any successful insert or delete into one of its relations, any
+    table created or dropped.  Per-database: mutations of other
+    databases in the process never move it (each instance owns an
+    atomic stamp, shared into its relations at {!create_table} and with
+    its {!worker_view}s).  Callers use it to invalidate content-derived
+    caches and to measure plan staleness
+    ({!Plan.stats}[.compiled_version]). *)
 
 (** {2 Plan cache}
 
@@ -101,6 +103,12 @@ val prepare : ?cache:bool -> t -> Cq.t -> Plan.t * Plan.binding
 
 val plan_cache_size : t -> int
 (** Number of distinct query shapes currently cached. *)
+
+val cached_plans : t -> (string * Plan.t) list
+(** Snapshot of the plan cache, sorted by shape key (deterministic
+    order), taken under the plan lock.  The plans are the live cached
+    objects — their {!Plan.stats} keep accruing after the snapshot.
+    What [solve --explain-analyze] renders. *)
 
 (** {2 Counters} *)
 

@@ -219,6 +219,46 @@ let rels_label (q : Cq.t) =
     (List.sort_uniq String.compare
        (List.map (fun (a : Cq.atom) -> a.Cq.rel) q.atoms))
 
+(* Solvers probe a handful of query templates over and over (the plan
+   cache banks on the same fact), and probes that ground the same
+   template share their relation-name strings physically even when the
+   [Cq.t] values are fresh.  So the label->counter map is a small array
+   scanned with pointer compares — no string is built and nothing is
+   hashed on a hit.  Each new template appends once; past
+   [max_label_memo] distinct templates the overflow path rebuilds the
+   label per probe, which only prices workloads the plan cache already
+   handles badly.  A plain ref is fine across domains: workers run with
+   metrics off, and a racy append costs at most a duplicate entry for
+   the same registry counter. *)
+let rec same_rels (atoms : Cq.atom list) rels =
+  match (atoms, rels) with
+  | [], [] -> true
+  | a :: atl, r :: rtl -> a.Cq.rel == r && same_rels atl rtl
+  | _ -> false
+
+let max_label_memo = 64
+
+let label_memo : (string list * Obs.Counter.t) array ref = ref [||]
+
+let probe_label_counter (q : Cq.t) =
+  let memo = !label_memo in
+  let n = Array.length memo in
+  let rec find i =
+    if i < n then begin
+      let rels, c = memo.(i) in
+      if same_rels q.atoms rels then c else find (i + 1)
+    end
+    else begin
+      let c = Obs.Counter.labeled "eval.probes" (rels_label q) in
+      if n < max_label_memo then begin
+        let rels = List.map (fun (a : Cq.atom) -> a.Cq.rel) q.atoms in
+        label_memo := Array.append memo [| (rels, c) |]
+      end;
+      c
+    end
+  in
+  find 0
+
 (* Resilience middleware: with a guard armed on the database, the probe
    body runs under budget checks, fault injection and retries
    ({!Resilient.probe}); transient faults strike before the body
@@ -246,27 +286,48 @@ let probed db (q : Cq.t) ~kind f =
     guarded db (fun () ->
         Database.count_probe db;
         f ())
-  else begin
-    let label = rels_label q in
-    if Obs.metrics_on () then begin
-      Obs.Counter.incr probe_count;
-      Obs.Counter.incr (Obs.Counter.labeled "eval.probes" label)
-    end;
-    let before = Database.snapshot_counters db in
-    let args () =
-      let d = Counters.diff ~before ~after:(Database.snapshot_counters db) in
-      [
-        ("rels", Obs.Str label);
-        ("atoms", Obs.Int (List.length q.atoms));
-        ("kind", Obs.Str kind);
-        ("plan_hit", Obs.Bool (d.plan_misses = 0));
-        ("tuples_scanned", Obs.Int d.tuples_scanned);
-      ]
-    in
-    Obs.with_span ~args ~hist:probe_hist "eval.probe" (fun () ->
+  else if not (Obs.tracing () || Obs.metrics_on ()) then
+    (* Only the flight recorder is armed.  It wants the probe span in
+       its window but must stay at ~100ns per probe, so skip the label
+       building, counter snapshots and per-label registry increments
+       that sinks and the metrics registry pay for. *)
+    Obs.with_span ~hist:probe_hist "eval.probe" (fun () ->
         guarded db (fun () ->
             Database.count_probe db;
             f ()))
+  else begin
+    if Obs.metrics_on () then begin
+      Obs.Counter.incr probe_count;
+      Obs.Counter.incr (probe_label_counter q)
+    end;
+    if not (Obs.tracing ()) then
+      (* Registry (and possibly the recorder) armed, but no sink: the
+         args thunk would never be forced, so don't build the counter
+         snapshot it closes over. *)
+      Obs.with_span ~hist:probe_hist "eval.probe" (fun () ->
+          guarded db (fun () ->
+              Database.count_probe db;
+              f ()))
+    else begin
+      let label = rels_label q in
+      let before = Database.snapshot_counters db in
+      let args () =
+        let d =
+          Counters.diff ~before ~after:(Database.snapshot_counters db)
+        in
+        [
+          ("rels", Obs.Str label);
+          ("atoms", Obs.Int (List.length q.atoms));
+          ("kind", Obs.Str kind);
+          ("plan_hit", Obs.Bool (d.plan_misses = 0));
+          ("tuples_scanned", Obs.Int d.tuples_scanned);
+        ]
+      in
+      Obs.with_span ~args ~hist:probe_hist "eval.probe" (fun () ->
+          guarded db (fun () ->
+              Database.count_probe db;
+              f ()))
+    end
   end
 
 let solve ?(plan = Compiled) db (q : Cq.t) ~on_solution =

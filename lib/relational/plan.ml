@@ -46,11 +46,33 @@ type step = {
   access : access;
 }
 
+(* Per-step observed statistics, updated on every execution of the plan
+   (row path and cursor machine alike).  Plain int increments: always
+   on, allocation-free, and advisory — a plan shared across executor
+   domains takes lossy unsynchronised updates, which skews counts by at
+   most the lost races and never affects results. *)
+type step_stat = {
+  mutable s_entered : int;  (* times the step was entered *)
+  mutable s_scanned : int;  (* candidates examined (= tuples_scanned share) *)
+  mutable s_emitted : int;  (* candidates that matched and moved deeper *)
+  mutable s_ns : int64;     (* inclusive time, analyze mode only *)
+}
+
+type stats = {
+  mutable executions : int;
+  mutable exec_ns : int64;  (* whole-plan time, accumulated when Obs armed *)
+  est_rows : int array;     (* compile-time per-step cardinality estimate *)
+  steps_obs : step_stat array;
+  compiled_version : int;   (* Database.data_version at compile *)
+  mutable last_seen_version : int;  (* data_version at last cache hit *)
+}
+
 type t = {
   key : string;
   steps : step array;
   nslots : int;
   nparams : int;
+  obs : stats;
 }
 
 (* The per-instance residue of canonicalization: the concrete constants
@@ -140,7 +162,21 @@ let resolve lookup rel nargs =
     if nargs <> expected then raise (Arity_mismatch (rel, nargs, expected));
     r
 
-let compile lookup ~key (shape : shape) =
+(* Compile-time cardinality estimate of one access path.  Constants are
+   abstracted out of shapes, so index paths estimate the average bucket
+   of the probed column; the observed statistics measure how far the
+   actual buckets drift from it. *)
+let estimate rel access =
+  match access with
+  | Membership -> 1
+  | Index_one (c, _) -> Relation.estimate_bucket rel ~col:c
+  | Index_adaptive cols ->
+    Array.fold_left
+      (fun acc (c, _) -> min acc (Relation.estimate_bucket rel ~col:c))
+      max_int cols
+  | Full_scan -> Relation.cardinal rel
+
+let compile ?(version = 0) lookup ~key (shape : shape) =
   let atoms = Array.of_list shape.sh_atoms in
   let rels =
     Array.map (fun (rel, args) -> resolve lookup rel (Array.length args)) atoms
@@ -170,6 +206,7 @@ let compile lookup ~key (shape : shape) =
     else (3, card)
   in
   let steps = ref [] in
+  let ests = ref [] in
   for _stage = 0 to n - 1 do
     let best = ref None in
     for i = n - 1 downto 0 do
@@ -215,24 +252,48 @@ let compile lookup ~key (shape : shape) =
             end)
         args
     in
-    steps := { rel; args; ops; access } :: !steps
+    steps := { rel; args; ops; access } :: !steps;
+    ests := estimate rels.(i) access :: !ests
   done;
+  let steps = Array.of_list (List.rev !steps) in
   {
     key;
-    steps = Array.of_list (List.rev !steps);
+    steps;
     nslots = shape.sh_nslots;
     nparams = shape.sh_nparams;
+    obs =
+      {
+        executions = 0;
+        exec_ns = 0L;
+        est_rows = Array.of_list (List.rev !ests);
+        steps_obs =
+          Array.init (Array.length steps) (fun _ ->
+              { s_entered = 0; s_scanned = 0; s_emitted = 0; s_ns = 0L });
+        compiled_version = version;
+        last_seen_version = version;
+      };
   }
 
-let compile_query lookup q =
+let compile_query ?version lookup q =
   let key, shape, binding = canonicalize q in
-  (compile lookup ~key shape, binding)
+  (compile ?version lookup ~key shape, binding)
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                          *)
 (* ------------------------------------------------------------------ *)
 
 exception Stop
+
+(* Analyze mode: when on, every step execution is timed (two clock
+   reads per step entry) and charged inclusively to its per-step
+   [s_ns].  Process-global by design — `solve --explain-analyze` arms
+   it around one solve; the always-on counters above never depend on
+   it. *)
+let analyze_mode = ref false
+
+let set_analyze b = analyze_mode := b
+
+let analyze_enabled () = !analyze_mode
 
 let execute plan lookup (counters : Counters.t) (binding : binding) ~on_frame =
   if Array.length binding.params <> plan.nparams then
@@ -249,6 +310,14 @@ let execute plan lookup (counters : Counters.t) (binding : binding) ~on_frame =
   let frame = Array.make (max 1 plan.nslots) (Value.Int 0) in
   let value = function Slot s -> frame.(s) | Param j -> params.(j) in
   let nsteps = Array.length plan.steps in
+  let obs = plan.obs in
+  obs.executions <- obs.executions + 1;
+  (* [tracing], not [enabled]: always-on telemetry (metrics registry,
+     flight recorder) must keep the zero-allocation probe path, and
+     [Obs.now_ns] boxes its int64.  Wall time is only accrued when a
+     serializing sink is attached or EXPLAIN ANALYZE asked for it. *)
+  let armed = Obs.tracing () || !analyze_mode in
+  let t_run = if armed then Obs.now_ns () else 0L in
   let rec go i =
     if i = nsteps then begin
       if not (on_frame frame) then raise Stop
@@ -256,10 +325,13 @@ let execute plan lookup (counters : Counters.t) (binding : binding) ~on_frame =
     else begin
       let st = plan.steps.(i) in
       let r = rels.(i) in
+      let so = obs.steps_obs.(i) in
+      so.s_entered <- so.s_entered + 1;
       let ops = st.ops in
       let nops = Array.length ops in
       let try_tuple (t : Tuple.t) =
         counters.tuples_scanned <- counters.tuples_scanned + 1;
+        so.s_scanned <- so.s_scanned + 1;
         let ok = ref true in
         let c = ref 0 in
         while !ok && !c < nops do
@@ -270,33 +342,54 @@ let execute plan lookup (counters : Counters.t) (binding : binding) ~on_frame =
             if not (Value.equal params.(j) t.(!c)) then ok := false);
           incr c
         done;
-        if !ok then go (i + 1)
+        if !ok then begin
+          so.s_emitted <- so.s_emitted + 1;
+          go (i + 1)
+        end
       in
-      match st.access with
-      | Membership ->
-        counters.tuples_scanned <- counters.tuples_scanned + 1;
-        if Relation.mem r (Array.map value st.args) then go (i + 1)
-      | Index_one (c, a) -> Relation.iter_matching r ~col:c (value a) try_tuple
-      | Index_adaptive cols ->
-        (* The only run-time planning left: with several bound columns
-           the cheapest depends on the actual values. *)
-        let best_col = ref (-1) and best_v = ref (Value.Int 0) in
-        let best_cost = ref max_int in
-        Array.iter
-          (fun (c, a) ->
-            let v = value a in
-            let cost = Relation.count_matching r ~col:c v in
-            if cost < !best_cost then begin
-              best_cost := cost;
-              best_col := c;
-              best_v := v
-            end)
-          cols;
-        Relation.iter_matching r ~col:!best_col !best_v try_tuple
-      | Full_scan -> Relation.iter try_tuple r
+      let run_access () =
+        match st.access with
+        | Membership ->
+          counters.tuples_scanned <- counters.tuples_scanned + 1;
+          so.s_scanned <- so.s_scanned + 1;
+          if Relation.mem r (Array.map value st.args) then begin
+            so.s_emitted <- so.s_emitted + 1;
+            go (i + 1)
+          end
+        | Index_one (c, a) -> Relation.iter_matching r ~col:c (value a) try_tuple
+        | Index_adaptive cols ->
+          (* The only run-time planning left: with several bound columns
+             the cheapest depends on the actual values. *)
+          let best_col = ref (-1) and best_v = ref (Value.Int 0) in
+          let best_cost = ref max_int in
+          Array.iter
+            (fun (c, a) ->
+              let v = value a in
+              let cost = Relation.count_matching r ~col:c v in
+              if cost < !best_cost then begin
+                best_cost := cost;
+                best_col := c;
+                best_v := v
+              end)
+            cols;
+          Relation.iter_matching r ~col:!best_col !best_v try_tuple
+        | Full_scan -> Relation.iter try_tuple r
+      in
+      if not !analyze_mode then run_access ()
+      else begin
+        (* Inclusive per-step time (children included), like EXPLAIN
+           ANALYZE's actual-time column.  [Fun.protect] so a Stop
+           unwinding from a solution callback still charges the step. *)
+        let t0 = Obs.now_ns () in
+        Fun.protect
+          ~finally:(fun () ->
+            so.s_ns <- Int64.add so.s_ns (Int64.sub (Obs.now_ns ()) t0))
+          run_access
+      end
     end
   in
-  try go 0 with Stop -> ()
+  (try go 0 with Stop -> ());
+  if armed then obs.exec_ns <- Int64.add obs.exec_ns (Int64.sub (Obs.now_ns ()) t_run)
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                      *)
@@ -305,6 +398,48 @@ let execute plan lookup (counters : Counters.t) (binding : binding) ~on_frame =
 let nslots plan = plan.nslots
 
 let plan_key plan = plan.key
+
+let stats plan = plan.obs
+
+let note_seen plan ~version = plan.obs.last_seen_version <- version
+
+let reset_stats plan =
+  let obs = plan.obs in
+  obs.executions <- 0;
+  obs.exec_ns <- 0L;
+  Array.iter
+    (fun so ->
+      so.s_entered <- 0;
+      so.s_scanned <- 0;
+      so.s_emitted <- 0;
+      so.s_ns <- 0L)
+    obs.steps_obs
+
+(* Mean candidates scanned per entry of step [i] — the observed
+   counterpart of [est_rows.(i)]. *)
+let observed_rows plan i =
+  let so = plan.obs.steps_obs.(i) in
+  if so.s_entered = 0 then 0.0
+  else float_of_int so.s_scanned /. float_of_int so.s_entered
+
+(* Largest per-step estimate-vs-observed ratio (symmetric: an estimate
+   off by 4x in either direction reports 4.0).  1.0 means the compile
+   cardinalities still describe the data; adaptive re-planning keys on
+   this together with how far [last_seen_version] ran from
+   [compiled_version]. *)
+let max_drift plan =
+  let worst = ref 1.0 in
+  Array.iteri
+    (fun i _ ->
+      let so = plan.obs.steps_obs.(i) in
+      if so.s_entered > 0 then begin
+        let obs = Float.max (observed_rows plan i) 1.0 in
+        let est = Float.max (float_of_int plan.obs.est_rows.(i)) 1.0 in
+        let ratio = if obs > est then obs /. est else est /. obs in
+        if ratio > !worst then worst := ratio
+      end)
+    plan.steps;
+  !worst
 
 let pp_arg ppf = function
   | Slot s -> Format.fprintf ppf "s%d" s
@@ -327,5 +462,48 @@ let pp ppf plan =
                (Array.to_list
                   (Array.map (fun (c, _) -> string_of_int c) cols)))
         | Full_scan -> "scan"))
+    plan.steps;
+  Format.fprintf ppf "@]"
+
+let access_label st =
+  match st.access with
+  | Membership -> "membership"
+  | Index_one (c, a) -> Format.asprintf "index[%d=%a]" c pp_arg a
+  | Index_adaptive cols ->
+    Format.asprintf "adaptive{%s}"
+      (String.concat ","
+         (Array.to_list (Array.map (fun (c, _) -> string_of_int c) cols)))
+  | Full_scan -> "scan"
+
+(* EXPLAIN ANALYZE rendering: the compiled order with, per step, the
+   compile-time cardinality estimate against what executing the plan
+   actually observed.  Times only appear when the runs happened under
+   analyze mode ([s_ns] stays 0 otherwise) — tests filter them out. *)
+let pp_analyze ppf plan =
+  let obs = plan.obs in
+  Format.fprintf ppf "@[<v>plan %s" plan.key;
+  Format.fprintf ppf "@,  executions=%d drift=%.2f version=%d->%d"
+    obs.executions (max_drift plan) obs.compiled_version
+    obs.last_seen_version;
+  if obs.exec_ns > 0L then
+    Format.fprintf ppf "@,  total time %.3f ms"
+      (Int64.to_float obs.exec_ns /. 1e6);
+  Array.iteri
+    (fun i st ->
+      let so = obs.steps_obs.(i) in
+      Format.fprintf ppf
+        "@,%d. %s(%s) via %s  est_rows=%d obs_rows=%.1f entered=%d \
+         scanned=%d emitted=%d sel=%s"
+        (i + 1) st.rel
+        (String.concat ", "
+           (Array.to_list (Array.map (Format.asprintf "%a" pp_arg) st.args)))
+        (access_label st) obs.est_rows.(i) (observed_rows plan i)
+        so.s_entered so.s_scanned so.s_emitted
+        (if so.s_scanned = 0 then "-"
+         else
+           Printf.sprintf "%.3f"
+             (float_of_int so.s_emitted /. float_of_int so.s_scanned));
+      if so.s_ns > 0L then
+        Format.fprintf ppf " time=%.3fms" (Int64.to_float so.s_ns /. 1e6))
     plan.steps;
   Format.fprintf ppf "@]"

@@ -52,11 +52,41 @@ type step = private {
   access : access;
 }
 
+type step_stat = {
+  mutable s_entered : int;  (** times the step was entered *)
+  mutable s_scanned : int;  (** candidate tuples examined *)
+  mutable s_emitted : int;  (** candidates that matched and moved deeper *)
+  mutable s_ns : int64;     (** inclusive time; only under {!set_analyze} *)
+}
+(** Per-step observed statistics.  Always on: plain int increments,
+    allocation-free.  Mutable and non-private because {!Cursor} updates
+    the same records from its integer-id machine, so one plan accrues
+    one set of numbers whichever backend ran it.  On plans shared
+    across executor domains the updates are advisory (lossy, racy);
+    they never affect query results. *)
+
+type stats = {
+  mutable executions : int;
+  mutable exec_ns : int64;
+      (** whole-plan time, accumulated only while {!Obs.tracing} or
+          {!analyze_enabled} — never under the always-on telemetry,
+          whose probe path stays allocation-free *)
+  est_rows : int array;
+      (** compile-time per-step cardinality estimate (average index
+          bucket — constants are abstracted out of shapes) *)
+  steps_obs : step_stat array;
+  compiled_version : int;
+      (** [Database.data_version] when the plan was compiled *)
+  mutable last_seen_version : int;
+      (** [data_version] at the most recent cache hit *)
+}
+
 type t = private {
   key : string;
   steps : step array;
   nslots : int;
   nparams : int;
+  obs : stats;
 }
 (** A compiled plan.  Pure description: contains relation {e names},
     not relation handles, so it survives table drop/re-creation (arities
@@ -80,14 +110,19 @@ val canonicalize : Cq.t -> string * shape * binding
 val key : Cq.t -> string
 (** Just the cache key of {!canonicalize}. *)
 
-val compile : (string -> Relation.t option) -> key:string -> shape -> t
-(** [compile lookup ~key shape] chooses the join order and access paths.
-    Relation cardinalities (from [lookup]) break ties; per-constant
-    selectivities cannot be used — constants are abstracted — which is
-    what makes the result safely shareable across isomorphic queries.
+val compile :
+  ?version:int -> (string -> Relation.t option) -> key:string -> shape -> t
+(** [compile ?version lookup ~key shape] chooses the join order and
+    access paths.  Relation cardinalities (from [lookup]) break ties;
+    per-constant selectivities cannot be used — constants are
+    abstracted — which is what makes the result safely shareable across
+    isomorphic queries.  [version] (default 0) stamps the plan's
+    [compiled_version] with the database content version it was planned
+    against.
     @raise Unknown_relation, Arity_mismatch as {!Eval} would. *)
 
-val compile_query : (string -> Relation.t option) -> Cq.t -> t * binding
+val compile_query :
+  ?version:int -> (string -> Relation.t option) -> Cq.t -> t * binding
 (** One-shot [canonicalize] + [compile]. *)
 
 val execute :
@@ -111,5 +146,35 @@ val nslots : t -> int
 
 val plan_key : t -> string
 
+(** {1 Observed statistics} *)
+
+val stats : t -> stats
+(** The plan's live statistics record (shared, mutable). *)
+
+val note_seen : t -> version:int -> unit
+(** Stamp [last_seen_version] — called by {!Database.prepare} on every
+    cache hit. *)
+
+val reset_stats : t -> unit
+
+val set_analyze : bool -> unit
+(** Arm/disarm analyze mode: per-step inclusive wall-clock timing (two
+    clock reads per step entry).  Process-global; meant to bracket one
+    [solve --explain-analyze].  The always-on counters do not depend on
+    it. *)
+
+val analyze_enabled : unit -> bool
+
+val max_drift : t -> float
+(** Largest per-step ratio between the compile-time cardinality
+    estimate and the observed mean candidates per entry, symmetric
+    ([>= 1.0]; 1.0 = estimates still describe the data).  Steps never
+    entered are skipped. *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders the step order and access paths, for logs and tests. *)
+
+val pp_analyze : Format.formatter -> t -> unit
+(** EXPLAIN ANALYZE rendering: {!pp}'s order annotated per step with
+    estimated vs observed rows, scan/emit counts, selectivity, and —
+    when runs happened under {!set_analyze} — inclusive times. *)

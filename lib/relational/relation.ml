@@ -23,6 +23,14 @@ type t = {
      authoritative (and is the differential oracle); the mirror is what
      {!Cursor} probes. *)
   mirror : Column_store.t option;
+  (* Content-version stamp, shared with the owning database (every
+     relation of one database bumps the same atomic) so that
+     [Database.data_version] moves exactly when *that* database's
+     contents move.  Standalone relations get a private stamp. *)
+  version : int Atomic.t;
+  (* Observed mutation statistics for the query-intelligence layer. *)
+  mutable n_inserts : int;
+  mutable n_deletes : int;
 }
 
 (* Process-wide stamp of extensional mutations (successful inserts and
@@ -40,16 +48,28 @@ let mutation_count () = Atomic.get mutations
 
 let note_mutation () = Atomic.incr mutations
 
-let create ?(columnar = false) schema =
-  {
-    schema;
-    tuples = Vec.create ();
-    live = Vec.create ();
-    present = Tuple.Hashtbl.create 64;
-    dead_count = 0;
-    indexes = Array.make (Schema.arity schema) None;
-    mirror = (if columnar then Some (Column_store.create schema) else None);
-  }
+let create ?(columnar = false) ?version schema =
+  let r =
+    {
+      schema;
+      tuples = Vec.create ();
+      live = Vec.create ();
+      present = Tuple.Hashtbl.create 64;
+      dead_count = 0;
+      indexes = Array.make (Schema.arity schema) None;
+      mirror = (if columnar then Some (Column_store.create schema) else None);
+      version = (match version with Some v -> v | None -> Atomic.make 0);
+      n_inserts = 0;
+      n_deletes = 0;
+    }
+  in
+  (* The first-argument index is eager, not lazy: the coordination
+     algorithms bucket atoms by their first argument, so per-bucket
+     cardinalities must be maintained from the first insert for the
+     planner's estimates to mean anything. *)
+  if Schema.arity schema > 0 then
+    r.indexes.(0) <- Some (Value.Hashtbl.create 16);
+  r
 
 let column_store r = r.mirror
 
@@ -93,6 +113,8 @@ let insert r t =
     (match r.mirror with
     | None -> ()
     | Some cs -> ignore (Column_store.insert cs t));
+    r.n_inserts <- r.n_inserts + 1;
+    Atomic.incr r.version;
     note_mutation ();
     true
   end
@@ -117,7 +139,14 @@ let compact r =
   r.live <- live;
   r.present <- present;
   r.dead_count <- 0;
-  r.indexes <- Array.make (arity r) None
+  r.indexes <- Array.make (arity r) None;
+  (* Keep the first-argument bucket counters alive across compaction
+     (the other indexes rebuild lazily as before). *)
+  if arity r > 0 then begin
+    let idx = Value.Hashtbl.create (max 16 (cardinal r)) in
+    Vec.iteri (fun row t -> index_row idx row t 0) r.tuples;
+    r.indexes.(0) <- Some idx
+  end
 
 (* Drop tombstoned ids once they outnumber live ones (dead fraction
    above 1/2), keeping index scans proportional to live matches. *)
@@ -151,6 +180,8 @@ let delete r t =
     (match r.mirror with
     | None -> ()
     | Some cs -> ignore (Column_store.delete cs t));
+    r.n_deletes <- r.n_deletes + 1;
+    Atomic.incr r.version;
     note_mutation ();
     true
 
@@ -235,6 +266,31 @@ let posting_length r ~col v =
   match Value.Hashtbl.find_opt idx v with
   | None -> 0
   | Some p -> Vec.length p.ids
+
+let version r = Atomic.get r.version
+
+let inserts r = r.n_inserts
+
+let deletes r = r.n_deletes
+
+(* Number of non-empty buckets of [col]'s index — for col 0 this is
+   maintained eagerly from the first insert. *)
+let distinct_count r ~col =
+  let idx = ensure_index r col in
+  Value.Hashtbl.fold (fun _ p acc -> if p.count > 0 then acc + 1 else acc) idx 0
+
+(* Expected rows per bucket of [col], used as the planner's compile-time
+   cardinality estimate for an index access: live rows over non-empty
+   buckets, rounded up.  Constants are abstracted out of plan shapes, so
+   a per-value count cannot be baked in — the average bucket is the best
+   shareable estimate. *)
+let estimate_bucket r ~col =
+  let n = cardinal r in
+  if n = 0 then 0
+  else begin
+    let d = distinct_count r ~col in
+    if d = 0 then 0 else (n + d - 1) / d
+  end
 
 let distinct_values r ~col =
   let idx = ensure_index r col in

@@ -6,13 +6,23 @@
 
 type t
 
-val create : ?columnar:bool -> Schema.t -> t
-(** [create ?columnar schema] makes an empty relation.  With
+val create : ?columnar:bool -> ?version:int Atomic.t -> Schema.t -> t
+(** [create ?columnar ?version schema] makes an empty relation.  With
     [~columnar:true] the relation also maintains a {!Column_store}
     mirror: every successful {!insert}/{!delete} is dual-written, and
     {!column_store} exposes the mirror for the allocation-free cursor
     path ({!Cursor}).  The row store remains authoritative either way —
-    it is the differential oracle the mirror is tested against. *)
+    it is the differential oracle the mirror is tested against.
+
+    [version] is the content-version stamp the relation bumps on every
+    successful mutation; {!Database.create_table} passes the owning
+    database's stamp so {!Database.data_version} is per-database.  A
+    standalone relation defaults to a private stamp.
+
+    The first column's hash index is built eagerly and maintained across
+    compaction, so first-argument bucket cardinalities
+    ({!count_matching}, {!distinct_count}, {!estimate_bucket}) are live
+    from the first insert. *)
 
 val column_store : t -> Column_store.t option
 (** The columnar mirror, when the relation was created with
@@ -84,6 +94,29 @@ val posting_length : t -> col:int -> Value.t -> int
     [posting_length r ~col v <= 2 * count_matching r ~col v] holds after
     any delete (until the whole store compacts).  Exposed for tests and
     diagnostics. *)
+
+val version : t -> int
+(** Current value of the relation's content-version stamp (see
+    {!create}). *)
+
+val inserts : t -> int
+(** Successful inserts since creation (monotone; unaffected by
+    compaction). *)
+
+val deletes : t -> int
+(** Successful deletes since creation (monotone). *)
+
+val distinct_count : t -> col:int -> int
+(** Number of distinct values with at least one live row in [col].
+    Served from the column's index (eager for col 0, built on first use
+    otherwise). *)
+
+val estimate_bucket : t -> col:int -> int
+(** Expected live rows per index bucket of [col] (live cardinality over
+    {!distinct_count}, rounded up; 0 for an empty relation).  The
+    planner's compile-time estimate for an index access path — constants
+    are abstracted out of plan shapes, so the average bucket is the best
+    estimate a shared plan can carry. *)
 
 val distinct_values : t -> col:int -> Value.Set.t
 (** The active domain of one column. *)

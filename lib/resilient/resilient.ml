@@ -269,6 +269,10 @@ let count_fault label =
 
 let abort err =
   count c_aborts;
+  (* Every degraded outcome funnels through this one raise site, so it
+     is where the flight recorder freezes its window: the ring holds
+     exactly the moments leading up to the abort. *)
+  Obs.Flight_recorder.incident (error_to_string err);
   raise (Abort err)
 
 (* ----------------------------- Probes ----------------------------- *)

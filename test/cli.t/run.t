@@ -306,3 +306,93 @@ and reports per-configuration speedup as a series.
   "ablation_parallel_scaling"
   $ grep -o '"domains", "pool", "candidates", "total_ms", "speedup"' par.json
   "domains", "pool", "candidates", "total_ms", "speedup"
+
+EXPLAIN ANALYZE renders every cached plan with estimated vs observed
+cardinalities, scan/emit counts and selectivity; times vary per run, so
+the check normalises them away.  The table is identical on both
+backends because the plan stats are shared between the row executor and
+the columnar cursor machine.
+
+  $ entangle solve figure1.eq --explain-analyze \
+  >   | sed -E 's/ time=[0-9.]+ms//; s/total time [0-9.]+ ms/total time _ ms/'
+  coordinating set {qC, qG}
+  assignment: {q0.x -> Paris, q0.x1 -> 70, q0.x2 -> 7, q1.y1 -> 70, q1.y2 -> 7}
+  -- EXPLAIN ANALYZE (2 cached plans, backend row) --
+  plan F(s0,s1,);H(s2,s1,);F(s0,p,);H(s2,p,);
+    executions=1 drift=2.00 version=8->8
+    total time _ ms
+  1. H(s2, p1) via index[1=p1]  est_rows=1 obs_rows=1.0 entered=1 scanned=1 emitted=1 sel=1.000
+  2. F(s0, p0) via index[1=p0]  est_rows=2 obs_rows=1.0 entered=1 scanned=1 emitted=1 sel=1.000
+  3. H(s2, s1) via index[0=s2]  est_rows=1 obs_rows=1.0 entered=1 scanned=1 emitted=1 sel=1.000
+  4. F(s0, s1) via membership  est_rows=1 obs_rows=1.0 entered=1 scanned=1 emitted=1 sel=1.000
+  plan F(s0,s1,);H(s2,s1,);F(s0,p,);H(s2,p,);F(s0,p,);H(s3,p,);
+    executions=1 drift=2.00 version=8->8
+    total time _ ms
+  1. H(s3, p3) via index[1=p3]  est_rows=1 obs_rows=1.0 entered=1 scanned=1 emitted=1 sel=1.000
+  2. F(s0, p2) via index[1=p2]  est_rows=2 obs_rows=1.0 entered=1 scanned=1 emitted=1 sel=1.000
+  3. F(s0, p0) via membership  est_rows=1 obs_rows=1.0 entered=1 scanned=1 emitted=0 sel=0.000
+  4. H(s2, p1) via index[1=p1]  est_rows=1 obs_rows=0.0 entered=0 scanned=0 emitted=0 sel=-
+  5. H(s2, s1) via index[0=s2]  est_rows=1 obs_rows=0.0 entered=0 scanned=0 emitted=0 sel=-
+  6. F(s0, s1) via membership  est_rows=1 obs_rows=0.0 entered=0 scanned=0 emitted=0 sel=-
+  $ entangle solve figure1.eq --backend columnar --explain-analyze \
+  >   | sed -E 's/ time=[0-9.]+ms//; s/total time [0-9.]+ ms/total time _ ms/' \
+  >   | grep -c 'est_rows='
+  10
+
+--metrics-out snapshots the registry to JSON plus a Prometheus text
+sibling; counters and gauges are deterministic, histogram times are
+filtered out.
+
+  $ entangle solve figure1.eq --metrics-out m.json > /dev/null
+  $ grep -o '"name": "eval.probes", "value": 2' m.json
+  "name": "eval.probes", "value": 2
+  $ grep -o '"db.data_version", "value": 8.000\|"db.plan_cache_size", "value": 2.000\|"db.tables", "value": 2.000\|"db.tuples", "value": 6.000' m.json
+  "db.data_version", "value": 8.000
+  "db.plan_cache_size", "value": 2.000
+  "db.tables", "value": 2.000
+  "db.tuples", "value": 6.000
+  $ grep -c '"count": 2' m.json
+  1
+  $ grep -E '^(# TYPE|entangle_eval_probes |entangle_db)' m.json.prom
+  # TYPE entangle_eval_probes counter
+  entangle_eval_probes 2
+  # TYPE entangle_db_data_version gauge
+  entangle_db_data_version 8
+  # TYPE entangle_db_plan_cache_size gauge
+  entangle_db_plan_cache_size 2
+  # TYPE entangle_db_tables gauge
+  entangle_db_tables 2
+  # TYPE entangle_db_tuples gauge
+  entangle_db_tuples 6
+  # TYPE entangle_eval_probe_ns summary
+  $ grep -o 'entangle_eval_probe_ns_count 2' m.json.prom
+  entangle_eval_probe_ns_count 2
+
+The flight recorder is armed by --flight-recorder and dumps its ring
+window once when a chaos run degrades; the fixed seed makes the
+recorded event names reproducible.
+
+  $ entangle solve figure1.eq --fault-rate 1.0 --max-attempts 1 --fault-seed 7 --flight-recorder fr.jsonl
+  no coordinating set exists
+  DEGRADED: probe failed after 1 attempt (retries exhausted); 3 work items unprobed (3 of 3 components unprobed)
+  $ grep -o '"name": "[a-z.]*"' fr.jsonl
+  "name": "scc.graph"
+  "name": "scc.preprocess"
+  "name": "scc.condense"
+  "name": "scc.unify"
+  "name": "flight.incident"
+  $ grep -o '"reason": "probe failed after 1 attempt (retries exhausted)"' fr.jsonl
+  "reason": "probe failed after 1 attempt (retries exhausted)"
+
+A clean run dumps nothing.
+
+  $ entangle solve figure1.eq --flight-recorder quiet.json > /dev/null
+  $ test -f quiet.json
+  [1]
+
+--metrics composes with the sharded executor: worker-domain counters
+fold into the same process-wide registry.
+
+  $ entangle solve figure1.eq --parallel --domains 4 --metrics 2>&1 | grep '^counter'
+  counter eval.probes 2
+  counter eval.probes{F,H} 2

@@ -414,6 +414,265 @@ let test_explain_via_obs () =
            | _ -> false)
          report.Coordination.Explain.events)
 
+(* ------------------------- flight recorder ------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let item_name = function
+  | Obs.Span s -> s.Obs.name
+  | Obs.Event e -> e.Obs.ev_name
+
+(* Every flight-recorder test disarms on the way out: the recorder is
+   process-global and later suites (executor determinism) must start
+   from the disarmed state. *)
+let with_recorder ?capacity f =
+  Obs.Flight_recorder.arm ?capacity ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Flight_recorder.set_dump_path None;
+      Obs.Flight_recorder.disarm ())
+    f
+
+let test_ring_drop_oldest () =
+  with_recorder ~capacity:4 (fun () ->
+      for i = 0 to 9 do
+        Obs.event (Printf.sprintf "e%d" i)
+      done;
+      Alcotest.(check (list string))
+        "ring keeps the newest [capacity] items, oldest first"
+        [ "e6"; "e7"; "e8"; "e9" ]
+        (List.map item_name (Obs.Flight_recorder.local_items ())));
+  Alcotest.(check bool) "disarmed after" false (Obs.Flight_recorder.armed ());
+  Alcotest.(check (list string))
+    "detached ring reads empty" []
+    (List.map item_name (Obs.Flight_recorder.local_items ()))
+
+let test_ring_capacity_one () =
+  with_recorder ~capacity:1 (fun () ->
+      Obs.event "first";
+      Alcotest.(check (list string))
+        "single slot holds the only item" [ "first" ]
+        (List.map item_name (Obs.Flight_recorder.local_items ()));
+      Obs.event "second";
+      Obs.event "third";
+      Alcotest.(check (list string))
+        "single slot holds the newest item" [ "third" ]
+        (List.map item_name (Obs.Flight_recorder.local_items ())));
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Flight_recorder.arm: capacity < 1") (fun () ->
+      Obs.Flight_recorder.arm ~capacity:0 ())
+
+let test_ring_records_through_capture () =
+  (* The executor captures worker items with [exclusive]; the recorder
+     must keep recording through it, and [replay] must not re-record. *)
+  with_recorder (fun () ->
+      let sink, drain = Obs.memory_sink () in
+      Obs.exclusive sink (fun () -> Obs.event "inside-capture");
+      let captured = drain () in
+      Alcotest.(check int) "capture saw the item" 1 (List.length captured);
+      Obs.replay captured;
+      Alcotest.(check (list string))
+        "ring recorded the item once, at emission"
+        [ "inside-capture" ]
+        (List.map item_name (Obs.Flight_recorder.local_items ())))
+
+let test_ring_per_domain_isolation () =
+  List.iter
+    (fun domains ->
+      with_recorder (fun () ->
+          let tasks = 16 in
+          let results =
+            Coordination.Executor.Pool.map ~domains
+              ~weights:(Array.make tasks 1) (fun i ->
+                (* Record which domain actually ran the task in the
+                   event NAME (ring-only recording keeps names but not
+                   args); the ring the item lands in must be that same
+                   domain's. *)
+                Obs.event
+                  (Printf.sprintf "task%d@dom%d" i (Domain.self () :> int));
+                i)
+          in
+          Array.iter
+            (function
+              | Ok _ -> ()
+              | Error e -> raise e)
+            results;
+          let rings = Obs.Flight_recorder.domains () in
+          let total = ref 0 in
+          List.iter
+            (fun (dom, items) ->
+              List.iter
+                (fun item ->
+                  match item with
+                  | Obs.Event { Obs.ev_name = name; _ } ->
+                    incr total;
+                    let d =
+                      match String.index_opt name '@' with
+                      | Some at ->
+                        int_of_string
+                          (String.sub name (at + 4)
+                             (String.length name - at - 4))
+                      | None -> Alcotest.fail ("unexpected event " ^ name)
+                    in
+                    Alcotest.(check int)
+                      (Printf.sprintf
+                         "(domains=%d) item emitted on domain %d is in ring %d"
+                         domains d dom)
+                      dom d
+                  | _ -> Alcotest.fail "unexpected item in ring")
+                items)
+            rings;
+          Alcotest.(check int)
+            (Printf.sprintf "(domains=%d) every task recorded exactly once"
+               domains)
+            tasks !total))
+    [ 1; 2; 4 ]
+
+let test_incident_dump_latch () =
+  let path = Filename.temp_file "entangle-flight" ".jsonl" in
+  with_recorder (fun () ->
+      Obs.Flight_recorder.set_dump_path (Some path);
+      let c = Obs.Counter.make "flight.incidents" in
+      Obs.Counter.reset c;
+      Obs.event "before-crash";
+      Obs.Flight_recorder.incident "first-failure";
+      let first_dump = read_file path in
+      Obs.event "after-first";
+      Obs.Flight_recorder.incident "second-failure";
+      Alcotest.(check string)
+        "second incident does not re-dump (latched)" first_dump
+        (read_file path);
+      Alcotest.(check int) "both incidents counted" 2 (Obs.Counter.value c);
+      let lines =
+        String.split_on_char '\n' first_dump
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      let names =
+        List.map
+          (fun l -> Json.str_exn (Option.get (Json.member "name" (Json.parse l))))
+          lines
+      in
+      Alcotest.(check (list string))
+        "dump holds the window up to the first incident"
+        [ "before-crash"; "flight.incident" ]
+        names;
+      let last = Json.parse (List.nth lines 1) in
+      let reason =
+        Json.member "args" last
+        |> Option.get |> Json.member "reason" |> Option.get |> Json.str_exn
+      in
+      Alcotest.(check string) "incident carries its reason" "first-failure"
+        reason);
+  Sys.remove path
+
+let test_abort_triggers_incident () =
+  let path = Filename.temp_file "entangle-flight" ".jsonl" in
+  with_recorder (fun () ->
+      Obs.Flight_recorder.set_dump_path (Some path);
+      let db = Database.create () in
+      let queries = Helpers.figure1_queries db in
+      let g =
+        Resilient.arm { Resilient.default_config with max_probes = Some 0 }
+      in
+      Database.set_guard db (Some g);
+      Resilient.start_solve g;
+      match Coordination.Scc_algo.solve db queries with
+      | Error _ -> Alcotest.fail "figure 1 program should be safe"
+      | Ok outcome ->
+        Alcotest.(check bool) "solve degraded under the 0-probe budget" true
+          (outcome.Coordination.Scc_algo.degraded <> None);
+        let dump = read_file path in
+        Alcotest.(check bool) "abort dumped the flight window" true
+          (String.length dump > 0);
+        Alcotest.(check bool) "window marks the incident" true
+          (let lines = String.split_on_char '\n' dump in
+           List.exists
+             (fun l ->
+               String.trim l <> ""
+               && Json.member "name" (Json.parse l) = Some (Json.Str "flight.incident"))
+             lines));
+  Sys.remove path
+
+(* ------------------------- metrics export ------------------------- *)
+
+let test_metrics_json_export () =
+  Obs.reset_metrics ();
+  let c = Obs.Counter.make "test.export.counter" in
+  Obs.Counter.add c 7;
+  Obs.Gauge.set (Obs.Gauge.make "test.export.gauge") 2.5;
+  let h = Obs.Histogram.make "test.export.hist" in
+  for v = 1 to 10 do
+    Obs.Histogram.observe h (Int64.of_int v)
+  done;
+  let doc = Json.parse (Obs.metrics_json ()) in
+  let find section name =
+    match Json.member section doc with
+    | Some (Json.Arr entries) ->
+      List.find_opt
+        (fun e -> Json.member "name" e = Some (Json.Str name))
+        entries
+    | _ -> Alcotest.failf "missing %s array" section
+  in
+  (match find "counters" "test.export.counter" with
+  | Some e ->
+    Alcotest.(check (float 0.001)) "counter value" 7.0
+      (Json.num_exn (Option.get (Json.member "value" e)))
+  | None -> Alcotest.fail "counter missing from JSON export");
+  (match find "gauges" "test.export.gauge" with
+  | Some e ->
+    Alcotest.(check (float 0.001)) "gauge value" 2.5
+      (Json.num_exn (Option.get (Json.member "value" e)))
+  | None -> Alcotest.fail "gauge missing from JSON export");
+  (match find "histograms" "test.export.hist" with
+  | Some e ->
+    Alcotest.(check (float 0.001)) "histogram count" 10.0
+      (Json.num_exn (Option.get (Json.member "count" e)));
+    Alcotest.(check (float 0.001)) "histogram sum" 55.0
+      (Json.num_exn (Option.get (Json.member "sum" e)));
+    List.iter
+      (fun q ->
+        Alcotest.(check bool)
+          (Printf.sprintf "histogram has %s" q)
+          true
+          (Json.member q e <> None))
+      [ "max"; "p50"; "p95"; "p99" ]
+  | None -> Alcotest.fail "histogram missing from JSON export")
+
+let test_metrics_prometheus_export () =
+  Obs.reset_metrics ();
+  Obs.Counter.add (Obs.Counter.make "test.prom.counter") 3;
+  Obs.Counter.incr (Obs.Counter.labeled "test.prom.counter" "lbl");
+  Obs.Gauge.set (Obs.Gauge.make "test.prom.gauge") 1.5;
+  let text = Obs.metrics_prometheus () in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "line is a comment or sample: %s" l)
+        true
+        (String.length l > 0
+        && (l.[0] = '#' || String.starts_with ~prefix:"entangle_" l)))
+    lines;
+  let has l = List.mem l lines in
+  Alcotest.(check bool) "counter TYPE header" true
+    (has "# TYPE entangle_test_prom_counter counter");
+  Alcotest.(check bool) "counter sample" true
+    (has "entangle_test_prom_counter 3");
+  Alcotest.(check bool) "labeled sample" true
+    (has "entangle_test_prom_counter{label=\"lbl\"} 1");
+  Alcotest.(check bool) "gauge TYPE header" true
+    (has "# TYPE entangle_test_prom_gauge gauge");
+  Alcotest.(check int) "TYPE header appears once per family" 1
+    (List.length
+       (List.filter (( = ) "# TYPE entangle_test_prom_counter counter") lines))
+
 (* -------------------- engine counter plumbing --------------------- *)
 
 let test_counters_copy_diff () =
@@ -472,6 +731,17 @@ let suite =
     ("jsonl sink round-trip", `Quick, test_jsonl_roundtrip);
     ("chrome sink round-trip", `Quick, test_chrome_roundtrip);
     ("chrome empty trace is valid", `Quick, test_chrome_empty_is_valid);
+    ("flight ring drops oldest", `Quick, test_ring_drop_oldest);
+    ("flight ring capacity one", `Quick, test_ring_capacity_one);
+    ("flight ring records through capture", `Quick,
+     test_ring_records_through_capture);
+    ("flight rings are per-domain", `Quick, test_ring_per_domain_isolation);
+    ("incident dumps once and counts", `Quick, test_incident_dump_latch);
+    ("guard abort triggers the flight dump", `Quick,
+     test_abort_triggers_incident);
+    ("metrics export as JSON", `Quick, test_metrics_json_export);
+    ("metrics export as Prometheus text", `Quick,
+     test_metrics_prometheus_export);
     ("explain reads solver events from obs", `Quick, test_explain_via_obs);
     ("engine counters: copy and diff", `Quick, test_counters_copy_diff);
     ("stats accumulate counter deltas", `Quick, test_stats_add_counters);

@@ -231,6 +231,140 @@ let test_delete_compact_cycles () =
          (Eval.find_all ~plan:Eval.Compiled db body))
   done
 
+(* ---------------------- observed plan statistics ------------------ *)
+
+(* The flights fixture on a chosen backend (the shared helper is
+   row-only). *)
+let flights_backend backend =
+  let db = Database.create ~backend () in
+  ignore (Database.create_table' db "F" [ "fid"; "dest" ]);
+  ignore (Database.create_table' db "H" [ "hid"; "loc" ]);
+  List.iter
+    (fun (f, d) -> Database.insert db "F" [ vi f; vs d ])
+    [ (101, "Zurich"); (102, "Zurich"); (200, "Paris"); (300, "Athens") ];
+  List.iter
+    (fun (h, l) -> Database.insert db "H" [ vi h; vs l ])
+    [ (7, "Paris"); (8, "Athens"); (9, "Zurich") ];
+  db
+
+let scanned_total db =
+  List.fold_left
+    (fun acc (_, plan) ->
+      Array.fold_left
+        (fun acc (so : Plan.step_stat) -> acc + so.Plan.s_scanned)
+        acc (Plan.stats plan).Plan.steps_obs)
+    0 (Database.cached_plans db)
+
+(* The always-on per-step scanned counters and the engine's
+   [tuples_scanned] counter meter the same thing; their totals must
+   agree exactly, on both execution backends. *)
+let test_observed_equals_tuples_scanned () =
+  List.iter
+    (fun backend ->
+      let label = Database.backend_to_string backend in
+      let db = flights_backend backend in
+      Database.reset_counters db;
+      List.iter
+        (fun body -> ignore (Eval.find_all db body))
+        [
+          q [ atom "F" [ var "x"; cs "Zurich" ] ];
+          q [ atom "F" [ var "x"; var "d" ]; atom "H" [ var "h"; var "d" ] ];
+          q [ atom "F" [ var "x"; cs "Paris" ] ];
+          q [ atom "F" [ var "x"; var "d" ]; atom "H" [ var "h"; var "d" ] ];
+        ];
+      let c = Database.counters db in
+      Alcotest.(check bool) (label ^ ": something was scanned") true
+        (c.Counters.tuples_scanned > 0);
+      Alcotest.(check int)
+        (label ^ ": per-step scanned totals tuples_scanned")
+        c.Counters.tuples_scanned (scanned_total db))
+    [ Database.Row; Database.Columnar ]
+
+let test_estimates_and_drift () =
+  let db = flights_db () in
+  let body = q [ atom "F" [ var "x"; cs "Zurich" ] ] in
+  let plan, _ = Database.prepare db body in
+  let stats = Plan.stats plan in
+  (* 4 live rows over 3 distinct destinations: ceil(4/3) = 2 per
+     bucket is the compile-time estimate of the dest-index access. *)
+  Alcotest.(check int) "estimate is the average bucket" 2
+    stats.Plan.est_rows.(0);
+  Alcotest.(check int) "compiled at the current data version"
+    (Database.data_version db) stats.Plan.compiled_version;
+  Alcotest.(check (float 0.001)) "never entered: drift is 1" 1.0
+    (Plan.max_drift plan);
+  ignore (Eval.find_all db body);
+  (* The Zurich bucket really holds 2 rows: the estimate is exact. *)
+  Alcotest.(check int) "executions" 1 stats.Plan.executions;
+  Alcotest.(check (float 0.001)) "observed matches the estimate" 1.0
+    (Plan.max_drift plan);
+  (* Skew the data after compilation: the same plan now scans a much
+     bigger bucket than it was planned for, and drift says so. *)
+  for i = 1 to 5 do
+    Database.insert db "F" [ vi (400 + i); Value.str "Zurich" ]
+  done;
+  ignore (Eval.find_all db body);
+  Alcotest.(check int) "executions accumulate" 2 stats.Plan.executions;
+  (* Mean scanned per entry is (2 + 7) / 2 = 4.5 against estimate 2. *)
+  Alcotest.(check (float 0.001)) "drift reflects the skew" 2.25
+    (Plan.max_drift plan);
+  Alcotest.(check bool) "cache hit stamped the data version" true
+    (stats.Plan.last_seen_version > stats.Plan.compiled_version);
+  Alcotest.(check int) "stamped with the current version"
+    (Database.data_version db) stats.Plan.last_seen_version;
+  Plan.reset_stats plan;
+  Alcotest.(check int) "reset zeroes executions" 0 stats.Plan.executions;
+  Alcotest.(check int) "reset zeroes step counters" 0 (scanned_total db);
+  Alcotest.(check (float 0.001)) "reset zeroes drift" 1.0 (Plan.max_drift plan)
+
+(* Analyze mode adds per-step and whole-plan wall clock on both
+   backends; the counters do not depend on it. *)
+let test_analyze_mode_times_steps () =
+  List.iter
+    (fun backend ->
+      let label = Database.backend_to_string backend in
+      let db = flights_backend backend in
+      let body =
+        q [ atom "F" [ var "x"; var "d" ]; atom "H" [ var "h"; var "d" ] ]
+      in
+      let plan, _ = Database.prepare db body in
+      let stats = Plan.stats plan in
+      ignore (Eval.find_all db body);
+      Alcotest.(check bool) (label ^ ": no timing when disarmed") true
+        (stats.Plan.exec_ns = 0L
+        && Array.for_all
+             (fun (so : Plan.step_stat) -> so.Plan.s_ns = 0L)
+             stats.Plan.steps_obs);
+      Plan.set_analyze true;
+      Fun.protect
+        ~finally:(fun () -> Plan.set_analyze false)
+        (fun () -> ignore (Eval.find_all db body));
+      Alcotest.(check bool) (label ^ ": analyze accrues plan time") true
+        (stats.Plan.exec_ns > 0L);
+      Alcotest.(check bool) (label ^ ": analyze accrues step time") true
+        (Array.exists
+           (fun (so : Plan.step_stat) -> so.Plan.s_ns > 0L)
+           stats.Plan.steps_obs))
+    [ Database.Row; Database.Columnar ]
+
+let test_pp_analyze_renders () =
+  let db = flights_db () in
+  let body = q [ atom "F" [ var "x"; cs "Zurich" ] ] in
+  ignore (Eval.find_all db body);
+  let plan, _ = Database.prepare db body in
+  let s = Format.asprintf "%a" Plan.pp_analyze plan in
+  let contains needle =
+    let nl = String.length needle and sl = String.length s in
+    let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pp_analyze mentions %S" needle)
+        true (contains needle))
+    [ "est_rows="; "scanned="; "emitted="; "sel="; "executions=" ]
+
 let suite =
   [
     Alcotest.test_case "differential: movies" `Quick test_differential_movies;
@@ -245,4 +379,12 @@ let suite =
     Alcotest.test_case "postings: prune at half dead" `Quick test_posting_pruning;
     Alcotest.test_case "postings: delete/compact cycles" `Quick
       test_delete_compact_cycles;
+    Alcotest.test_case "stats: observed == tuples_scanned (both backends)"
+      `Quick test_observed_equals_tuples_scanned;
+    Alcotest.test_case "stats: estimates, drift, versions, reset" `Quick
+      test_estimates_and_drift;
+    Alcotest.test_case "stats: analyze mode times steps" `Quick
+      test_analyze_mode_times_steps;
+    Alcotest.test_case "stats: pp_analyze renders the table" `Quick
+      test_pp_analyze_renders;
   ]

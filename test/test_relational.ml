@@ -236,6 +236,78 @@ let test_csv_header_mismatch () =
   Sys.remove path;
   Alcotest.(check bool) "parse error" true raised
 
+(* data_version is a per-database stamp: two live databases must move
+   independently, and only actual content changes move it. *)
+let test_data_version_per_database () =
+  let a = Database.create () in
+  let b = Database.create () in
+  let a0 = Database.data_version a and b0 = Database.data_version b in
+  ignore (Database.create_table' a "F" [ "fid"; "dest" ]);
+  Alcotest.(check bool) "create bumps a" true (Database.data_version a > a0);
+  Alcotest.(check int) "create leaves b alone" b0 (Database.data_version b);
+  let a1 = Database.data_version a in
+  Database.insert a "F" [ vi 1; vs "Zurich" ];
+  Alcotest.(check bool) "insert bumps a" true (Database.data_version a > a1);
+  Alcotest.(check int) "insert leaves b alone" b0 (Database.data_version b);
+  let a2 = Database.data_version a in
+  (* duplicate insert and absent delete are no-ops: stamp must not move *)
+  Database.insert a "F" [ vi 1; vs "Zurich" ];
+  ignore (Relation.delete (Database.relation a "F") (tup [ vi 99; vs "x" ]));
+  Alcotest.(check int) "no-op mutations don't bump" a2 (Database.data_version a);
+  ignore (Relation.delete (Database.relation a "F") (tup [ vi 1; vs "Zurich" ]));
+  Alcotest.(check bool) "delete bumps a" true (Database.data_version a > a2);
+  (* the other direction: mutating b never moves a *)
+  let a3 = Database.data_version a in
+  ignore (Database.create_table' b "G" [ "x" ]);
+  Database.insert b "G" [ vi 7 ];
+  Alcotest.(check bool) "b moved" true (Database.data_version b > b0);
+  Alcotest.(check int) "b's mutations leave a alone" a3 (Database.data_version a);
+  (* worker views share the owner's stamp *)
+  let wv = Database.worker_view a in
+  Alcotest.(check int) "worker view shares stamp" a3 (Database.data_version wv);
+  Database.insert a "F" [ vi 2; vs "Paris" ];
+  Alcotest.(check int) "stamp stays shared after mutation"
+    (Database.data_version a) (Database.data_version wv)
+
+(* Observed statistics on relations: monotone insert/delete tallies
+   (surviving compaction), first-column distinct counts, and the
+   estimate_bucket cardinality estimate. *)
+let relation_stats_test ~columnar () =
+  let r = Relation.create ~columnar (Schema.make "F" [ "fid"; "dest" ]) in
+  Alcotest.(check int) "no inserts yet" 0 (Relation.inserts r);
+  Alcotest.(check int) "empty estimate" 0 (Relation.estimate_bucket r ~col:0);
+  for i = 1 to 8 do
+    ignore (Relation.insert r (tup [ vi i; vs "Zurich" ]))
+  done;
+  ignore (Relation.insert r (tup [ vi 1; vs "Zurich" ]));
+  (* duplicate *)
+  Alcotest.(check int) "8 inserts, duplicate ignored" 8 (Relation.inserts r);
+  Alcotest.(check int) "0 deletes" 0 (Relation.deletes r);
+  Alcotest.(check int) "distinct fids" 8 (Relation.distinct_count r ~col:0);
+  Alcotest.(check int) "distinct dests" 1 (Relation.distinct_count r ~col:1);
+  Alcotest.(check int) "uniform bucket" 1 (Relation.estimate_bucket r ~col:0);
+  Alcotest.(check int) "skewed bucket" 8 (Relation.estimate_bucket r ~col:1);
+  (* delete 6 of 8: forces a compaction (dead > live/2), counters and
+     estimates must survive the rebuild *)
+  for i = 1 to 6 do
+    ignore (Relation.delete r (tup [ vi i; vs "Zurich" ]))
+  done;
+  ignore (Relation.delete r (tup [ vi 99; vs "nowhere" ]));
+  (* absent *)
+  Alcotest.(check int) "6 deletes, absent ignored" 6 (Relation.deletes r);
+  Alcotest.(check int) "inserts still monotone" 8 (Relation.inserts r);
+  Alcotest.(check int) "cardinal after compaction" 2 (Relation.cardinal r);
+  Alcotest.(check int) "distinct fids after compaction" 2
+    (Relation.distinct_count r ~col:0);
+  Alcotest.(check int) "estimate after compaction" 1
+    (Relation.estimate_bucket r ~col:0);
+  (* ceil division: 3 tuples over 2 distinct first args -> 2 *)
+  ignore (Relation.insert r (tup [ vi 7; vs "Paris" ]));
+  Alcotest.(check int) "ceil estimate" 2 (Relation.estimate_bucket r ~col:0)
+
+let test_relation_stats_row () = relation_stats_test ~columnar:false ()
+let test_relation_stats_columnar () = relation_stats_test ~columnar:true ()
+
 let arbitrary_value =
   QCheck.Gen.(
     oneof
@@ -267,6 +339,12 @@ let suite =
     Alcotest.test_case "relation arity check" `Quick test_relation_arity_check;
     Alcotest.test_case "database" `Quick test_database;
     Alcotest.test_case "database probes" `Quick test_database_probes;
+    Alcotest.test_case "data_version is per-database" `Quick
+      test_data_version_per_database;
+    Alcotest.test_case "relation observed stats (row)" `Quick
+      test_relation_stats_row;
+    Alcotest.test_case "relation observed stats (columnar)" `Quick
+      test_relation_stats_columnar;
     Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
     Alcotest.test_case "csv crlf" `Quick test_csv_crlf;
     Alcotest.test_case "csv relation roundtrip" `Quick test_csv_relation_roundtrip;
