@@ -803,6 +803,129 @@ let storage ?(rows = 100_000) ?(topics = 100) ?(timing_probes = 2_000)
       Printf.sprintf "%.2f" col_words;
     ]
 
+(* ------------------------------ Durability ------------------------ *)
+
+(* The price of the write-ahead log: the online_scaling pool-growth
+   stream (independent queries, nothing fires, per-submit latency
+   isolates maintenance cost) run against the durable engine under
+   each fsync policy.  Snapshots are disabled so the measurement is
+   pure journaling.  The committed acceptance number is the
+   page-cache-bound ratio wal-nofsync / no-wal, emitted as its own
+   series for the bench gate to cap — only for pools large enough to
+   amortize first-submit warmup (small-pool ratios are plan-cache
+   noise).  A fsync-bound variant's cost belongs to the disk, not to
+   the engine, so wal-fsync is reported but not gated. *)
+let durability ?(rows = 2_000) ?(pools = [ 500; 2_000 ]) () =
+  Printf.printf "\n== Ablation: durability (WAL append + fsync policy) ==\n";
+  Printf.printf
+    "(pool-growth submit stream; wal variants journal every admission; \
+     snapshots off)\n";
+  Series.start "ablation_durability"
+    [ "variant"; "pool"; "p50_us"; "p95_us"; "total_ms" ];
+  Series.start "ablation_durability_overhead"
+    [ "pool"; "nofsync_wal_overhead_x" ];
+  let topics = 50 in
+  let query i =
+    let const fmt j = Term.Const (Value.Str (Printf.sprintf fmt j)) in
+    Entangled.Query.make
+      ~name:(Printf.sprintf "s%d" i)
+      ~post:[ { Cq.rel = "R"; args = [| const "p%d" i; Term.Var "y" |] } ]
+      ~head:[ { Cq.rel = "R"; args = [| const "u%d" i; Term.Var "x" |] } ]
+      [
+        {
+          Cq.rel = "Posts";
+          args =
+            [|
+              Term.Var "x";
+              Term.Const (Value.Str (Workload.Social.topic (i mod topics)));
+            |];
+        };
+      ]
+  in
+  let percentile sorted q =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int (n - 1)))))
+  in
+  let wal_dir =
+    let k = ref 0 in
+    fun () ->
+      incr k;
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "entangle-bench-wal-%d-%d" (Unix.getpid ()) !k)
+  in
+  let rm_rf d =
+    if Sys.file_exists d then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+      Sys.rmdir d
+    end
+  in
+  List.iter
+    (fun n ->
+      let baseline_total = ref 0.0 in
+      List.iter
+        (fun (label, wal) ->
+          let db, engine, cleanup =
+            match wal with
+            | None ->
+              let db = Database.create () in
+              (db, Coordination.Online.create db, fun () -> ())
+            | Some fsync ->
+              let dir = wal_dir () in
+              let t, db, engine =
+                Durable.create_engine
+                  (Durable.config ~fsync ~snapshot_every:0 dir)
+              in
+              ( db,
+                engine,
+                fun () ->
+                  Durable.close t;
+                  rm_rf dir )
+          in
+          ignore (Workload.Social.install_posts ~rows ~topics db);
+          let lat = Array.make (max n 1) 0.0 in
+          let t0 = Coordination.Stats.now_ns () in
+          for i = 0 to n - 1 do
+            let s0 = Coordination.Stats.now_ns () in
+            ignore (Coordination.Online.submit engine (query i));
+            lat.(i) <-
+              Int64.to_float (Int64.sub (Coordination.Stats.now_ns ()) s0)
+              /. 1e3
+          done;
+          let total = ms (Int64.sub (Coordination.Stats.now_ns ()) t0) in
+          cleanup ();
+          Array.sort compare lat;
+          let p50 = percentile lat 0.5 and p95 = percentile lat 0.95 in
+          Printf.printf
+            "  %-13s pool %6d:  p50 %8.2f us   p95 %8.2f us   total \
+             %10.3f ms\n"
+            label n p50 p95 total;
+          Series.row "ablation_durability"
+            [
+              label;
+              string_of_int n;
+              Printf.sprintf "%.2f" p50;
+              Printf.sprintf "%.2f" p95;
+              Printf.sprintf "%.3f" total;
+            ];
+          if label = "no-wal" then baseline_total := total
+          else if label = "wal-nofsync" && !baseline_total > 0.0 && n >= 1_000
+          then begin
+            let ratio = total /. !baseline_total in
+            Printf.printf "  %-13s pool %6d:  %.2fx the no-wal run\n"
+              "(overhead)" n ratio;
+            Series.row "ablation_durability_overhead"
+              [ string_of_int n; Printf.sprintf "%.3f" ratio ]
+          end)
+        [
+          ("no-wal", None);
+          ("wal-nofsync", Some Durable.Never);
+          ("wal-group-64", Some (Durable.Every_n 64));
+          ("wal-fsync", Some Durable.Always);
+        ])
+    pools
+
 let run_all ?(fast = false) () =
   if fast then begin
     evaluator ~rows:1_000 ();
@@ -817,7 +940,8 @@ let run_all ?(fast = false) () =
     parallel_scaling ~rows:1_000 ();
     observability ~rows:5_000 ~n:15 ~repeats:3 ();
     resilience ~rows:5_000 ~n:15 ~repeats:3 ();
-    storage ~repeats:3 ()
+    storage ~repeats:3 ();
+    durability ~rows:1_000 ~pools:[ 200; 1_000 ] ()
   end
   else begin
     evaluator ();
@@ -832,5 +956,6 @@ let run_all ?(fast = false) () =
     parallel_scaling ();
     observability ();
     resilience ();
-    storage ()
+    storage ();
+    durability ()
   end

@@ -32,8 +32,17 @@
      floors a ratio of two same-machine timings ports across hardware
      where raw timings do not.
 
+   - WAL overhead columns (`wal_overhead_x` suffix): fail when the
+     fresh median exceeds an absolute cap (--wal-overhead-cap, default
+     3.0).  The durability ablation commits the page-cache-bound ratio
+     of a journaling submit stream over the plain engine (fsync-bound
+     variants are reported but deliberately not gated — their cost is
+     the disk's); like the other ratio families it ports across
+     machines where raw timings do not.
+
      gate.exe --baseline BENCH_eval.json --fresh bench.json [--tolerance 0.25]
        [--speedup-floor 3.0] [--alloc-slack 0.5] [--overhead-cap 1.05]
+       [--wal-overhead-cap 3.0]
 
    The parser below covers exactly the JSON Series.to_json emits
    (objects, arrays, numbers, strings); it is not a general-purpose
@@ -218,6 +227,7 @@ type rule =
   | Speedup          (* fresh median must stay above the absolute floor *)
   | Alloc            (* fresh median must stay within slack of baseline *)
   | Overhead         (* fresh median must stay below the absolute cap *)
+  | Wal_overhead     (* fresh median must stay below the WAL cap *)
 
 (* Sub-noise-floor medians are skipped: a 25% "regression" of 40
    microseconds is scheduler jitter, not a slowdown. *)
@@ -226,6 +236,7 @@ let rule_of_column name =
     && String.sub name (String.length name - String.length s) (String.length s) = s
   in
   if suffixed "minor_words_per_probe" then Some Alloc
+  else if suffixed "wal_overhead_x" then Some Wal_overhead
   else if suffixed "overhead_ratio" then Some Overhead
   else if suffixed "_speedup" then Some Speedup
   else if suffixed "_ms" then Some (Timing 1.0)
@@ -240,6 +251,7 @@ let () =
   let speedup_floor = ref 3.0 in
   let alloc_slack = ref 0.5 in
   let overhead_cap = ref 1.05 in
+  let wal_overhead_cap = ref 3.0 in
   let spec =
     [
       ("--baseline", Arg.Set_string baseline_path, "FILE  committed baseline");
@@ -253,6 +265,8 @@ let () =
         words  (default 0.5)");
       ("--overhead-cap", Arg.Set_float overhead_cap,
        "C  fail when an *overhead_ratio median exceeds C  (default 1.05)");
+      ("--wal-overhead-cap", Arg.Set_float wal_overhead_cap,
+       "C  fail when a *wal_overhead_x median exceeds C  (default 3.0)");
     ]
   in
   Arg.parse spec
@@ -326,6 +340,19 @@ let () =
                          (baseline %.2f, slack %.1f): the probe path is no \
                          longer allocation-free"
                         name col f b !alloc_slack
+                      :: !failures
+                | Wal_overhead ->
+                  incr checked;
+                  Printf.printf
+                    "  %-32s %-30s base %12.3fx fresh %12.3fx (cap %.2fx)\n"
+                    name col b f !wal_overhead_cap;
+                  if f > !wal_overhead_cap then
+                    failures :=
+                      Printf.sprintf
+                        "%s.%s page-cache WAL overhead %.3fx exceeds the \
+                         %.2fx cap (baseline %.3fx): journaling is taxing \
+                         the submit path"
+                        name col f !wal_overhead_cap b
                       :: !failures
                 | Overhead ->
                   incr checked;

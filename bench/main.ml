@@ -104,6 +104,9 @@ let () =
       | "resilience" ->
         if fast then Ablations.resilience ~rows:5_000 ~n:15 ~repeats:3 ()
         else Ablations.resilience ()
+      | "durability" ->
+        if fast then Ablations.durability ~rows:1_000 ~pools:[ 200; 1_000 ] ()
+        else Ablations.durability ()
       | "storage" ->
         (* 100k rows even in fast mode: the speedup and allocation gates
            are only meaningful at the acceptance workload size. *)

@@ -44,6 +44,68 @@ let backend_arg =
            allocation-free probe cursor).  Answers and statistics are \
            identical; only speed differs.")
 
+(* Validated numeric converters: nonsense values are rejected at parse
+   time with a message naming the constraint, instead of leaking into
+   the solver (where a negative deadline silently means "already
+   expired" and a fault rate above 1 is just "always"). *)
+let probability_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+    | Some p when p < 0.0 || p > 1.0 ->
+      Error
+        (`Msg
+           (Printf.sprintf "expected a probability in [0.0, 1.0], got %s" s))
+    | Some p -> Ok p
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let nonneg_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected a number, got %S" s))
+    | Some v when v < 0.0 ->
+      Error (`Msg (Printf.sprintf "expected a non-negative number, got %s" s))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let nonneg_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    | Some v when v < 0 ->
+      Error
+        (`Msg (Printf.sprintf "expected a non-negative integer, got %s" s))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    | Some v when v < 1 ->
+      Error (`Msg (Printf.sprintf "expected a positive integer, got %s" s))
+    | Some v -> Ok v
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let fsync_conv =
+  let parse s =
+    match Durable.fsync_policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown fsync policy %S (always|never|every-n:<N>)" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Durable.fsync_policy_to_string p)
+  in
+  Arg.conv (parse, print)
+
 let handle_syntax f =
   try f () with
   | Entangled.Parser.Syntax_error (line, msg) ->
@@ -133,7 +195,7 @@ let solve_cmd =
   let domains =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some pos_int_conv) None
       & info [ "domains" ] ~docv:"N"
           ~doc:
             "Domain-pool size for $(b,--parallel); defaults to the \
@@ -221,7 +283,7 @@ let solve_cmd =
   let deadline_ms =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some nonneg_float_conv) None
       & info [ "deadline-ms" ] ~docv:"MS"
           ~doc:
             "Wall-clock budget for the whole solve; on expiry the solver \
@@ -231,27 +293,27 @@ let solve_cmd =
   let max_probes =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some nonneg_int_conv) None
       & info [ "max-probes" ] ~docv:"N"
           ~doc:"Abort (degraded) after $(docv) database probe attempts.")
   in
   let max_tuples =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some nonneg_int_conv) None
       & info [ "max-tuples" ] ~docv:"N"
           ~doc:"Abort (degraded) after scanning $(docv) tuples.")
   in
   let probe_timeout_ms =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some nonneg_float_conv) None
       & info [ "probe-timeout-ms" ] ~docv:"MS"
           ~doc:"Per-probe time limit; slow probes fail (and may retry).")
   in
   let max_attempts =
     Arg.(
-      value & opt int 4
+      value & opt pos_int_conv 4
       & info [ "max-attempts" ] ~docv:"N"
           ~doc:
             "Attempts per probe before a transient fault becomes fatal \
@@ -259,7 +321,7 @@ let solve_cmd =
   in
   let fault_rate =
     Arg.(
-      value & opt float 0.0
+      value & opt probability_conv 0.0
       & info [ "fault-rate" ] ~docv:"P"
           ~doc:
             "Chaos mode: inject a transient probe failure with probability \
@@ -635,6 +697,8 @@ directives:
   \flush                   evaluate all pending components
   \stats                   cumulative solver statistics
   \db                      database summary
+  \wal                     journal status (segment, offsets, last LSN)
+  \snapshot                force a snapshot + segment rotation now
   \help                    this message
   \quit                    leave|}
 
@@ -672,14 +736,64 @@ let repl_cmd =
              incident (e.g. a degraded evaluation under a guard) the \
              recent-item window is dumped to $(docv).")
   in
-  let run consume mode flight_recorder backend =
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:
+            "Make the session durable: journal every operation to a \
+             checksummed write-ahead log in $(docv).  If the directory \
+             already holds a journal the session $(i,recovers) from it \
+             first (replaying the log, truncating any torn tail) and the \
+             creation flags are ignored in favour of the journaled \
+             engine configuration.")
+  in
+  let fsync =
+    Arg.(
+      value
+      & opt fsync_conv Durable.Always
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "WAL fsync policy: $(b,always) (every committed operation), \
+             $(b,every-n:<N>) (every N operations) or $(b,never) (leave \
+             it to the page cache).  Only meaningful with $(b,--wal).")
+  in
+  let snapshot_every =
+    Arg.(
+      value
+      & opt nonneg_int_conv 512
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:
+            "Snapshot the engine state after every $(docv) journaled \
+             operations (0 disables periodic snapshots).  Only \
+             meaningful with $(b,--wal).")
+  in
+  let run consume mode flight_recorder wal fsync snapshot_every backend =
     (match flight_recorder with
     | None -> ()
     | Some path ->
       Obs.Flight_recorder.set_dump_path (Some path);
       Obs.Flight_recorder.arm ());
-    let db = Database.create ~backend () in
-    let engine = Coordination.Online.create ~consume ~mode db in
+    let durable, db, engine =
+      match wal with
+      | None ->
+        let db = Database.create ~backend () in
+        (None, db, Coordination.Online.create ~consume ~mode db)
+      | Some dir -> (
+        match
+          Durable.open_or_recover ~consume ~mode ~backend
+            (Durable.config ~fsync ~snapshot_every dir)
+        with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+        | Ok (t, db, engine, report) ->
+          (match report with
+          | None -> Printf.printf "wal: new journal in %s\n" dir
+          | Some r -> Format.printf "%a@." Durable.pp_report r);
+          (Some t, db, engine))
+    in
     let report_fired (c : Coordination.Online.coordinated) =
       Printf.printf "coordinated: {%s}\n"
         (String.concat ", "
@@ -689,11 +803,16 @@ let repl_cmd =
       match stmt with
       | Entangled.Parser.Table (name, attrs) ->
         ignore (Database.create_table' db name attrs);
+        Option.iter
+          (fun t -> Durable.journal_create_table t name attrs)
+          durable;
         Printf.printf "table %s created\n" name
       | Entangled.Parser.Fact (rel, values) -> (
         match Database.relation_opt db rel with
         | None -> Printf.printf "error: no table %s\n" rel
-        | Some _ -> Database.insert db rel values)
+        | Some _ ->
+          Database.insert db rel values;
+          Option.iter (fun t -> Durable.journal_insert t rel values) durable)
       | Entangled.Parser.Query_stmt q -> (
         match Coordination.Online.submit engine q with
         | Coordination.Online.Coordinated c -> report_fired c
@@ -725,6 +844,23 @@ let repl_cmd =
           (Coordination.Online.stats engine)
           (Coordination.Online.total_coordinated engine)
       | "\\db" -> Format.printf "%a@." Database.pp db
+      | "\\wal" -> (
+        match durable with
+        | None -> Printf.printf "wal: not enabled (start with --wal DIR)\n"
+        | Some t ->
+          Printf.printf
+            "wal: %s\n  segment %s\n  %d bytes written, %d synced, last \
+             LSN %Ld\n"
+            (Durable.dir t)
+            (Filename.basename (Durable.current_segment t))
+            (Durable.wal_offset t) (Durable.synced_offset t)
+            (Durable.last_lsn t))
+      | "\\snapshot" -> (
+        match durable with
+        | None -> Printf.printf "wal: not enabled (start with --wal DIR)\n"
+        | Some t ->
+          Durable.snapshot t;
+          Printf.printf "snapshot written at LSN %Ld\n" (Durable.last_lsn t))
       | "\\help" -> print_endline repl_help
       | "\\quit" -> raise Exit
       | other -> Printf.printf "unknown directive %s (try \\help)\n" other
@@ -757,6 +893,7 @@ let repl_cmd =
          end
        done
      with End_of_file | Exit -> ());
+    Option.iter Durable.close durable;
     Printf.printf "bye: %d queries coordinated, %d still pending\n"
       (Coordination.Online.total_coordinated engine)
       (Coordination.Online.pending_count engine)
@@ -767,9 +904,46 @@ let repl_cmd =
   in
   Cmd.v
     (Cmd.info "repl" ~doc)
-    Cmdliner.Term.(const run $ consume $ mode $ flight_recorder $ backend_arg)
+    Cmdliner.Term.(
+      const run $ consume $ mode $ flight_recorder $ wal $ fsync
+      $ snapshot_every $ backend_arg)
+
+(* ------------------------------ recover ---------------------------- *)
+
+let recover_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"WAL directory written by $(b,repl --wal).")
+  in
+  let run dir =
+    match Durable.recover (Durable.config dir) with
+    | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 1
+    | Ok (t, db, engine, report) ->
+      Format.printf "%a@." Durable.pp_report report;
+      Printf.printf "engine: %d pending, %d coordinated (lifetime)\n"
+        (Coordination.Online.pending_count engine)
+        (Coordination.Online.total_coordinated engine);
+      Printf.printf "database: %d relations, %d tuples\n"
+        (List.length (Database.relations db))
+        (Database.total_tuples db);
+      Durable.close t
+  in
+  let doc =
+    "Recover a durable session from its write-ahead log: load the \
+     newest valid snapshot, replay the journal tail, truncate any torn \
+     tail, and report what happened.  The recovered state is \
+     re-checkpointed, so a second recovery is clean."
+  in
+  Cmd.v (Cmd.info "recover" ~doc) Cmdliner.Term.(const run $ dir)
 
 let () =
   let doc = "data-driven coordination with entangled queries" in
   let info = Cmd.info "entangle" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ solve_cmd; check_cmd; generate_cmd; repl_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ solve_cmd; check_cmd; generate_cmd; repl_cmd; recover_cmd ]))

@@ -18,6 +18,28 @@ type inventory_conflict = {
   missing : (string * Tuple.t) list;
 }
 
+(* Journal of state-changing effects, for a write-ahead log (see
+   lib/durable).  Records describe what the engine DID — admissions,
+   retirements, the deduplicated inventory deletions of the two-phase
+   consume commit — never what it computed, so replaying them
+   reconstructs the pool, satisfied count and store without re-running
+   any evaluation (and therefore can never fire a different set or
+   double-spend a tuple).  [Op_end] closes the group of records one
+   public operation emitted; a durability layer uses it as the atomic
+   commit boundary. *)
+module Journal = struct
+  type op = Submit_op | Submit_all_op | Flush_op
+
+  type record =
+    | Submitted of { id : int; query : Query.t }
+    | Rejected of { id : int }  (** admitted then evicted as unsafe *)
+    | Retired of { ids : int list }  (** a fired set left the pool *)
+    | Consumed of { deletions : (string * Tuple.t) list }
+    | Op_end of { op : op; fired : int }
+
+  type sink = record -> unit
+end
+
 (* One pooled query.  [neighbours] stores the undirected coordination
    adjacency discovered when the entry (or a later partner) arrived, so
    a dissolved component can be re-linked locally without rebuilding any
@@ -53,6 +75,7 @@ type t = {
   mutable satisfied : int;
   mutable last_degradation : Resilient.degradation option;
   mutable last_conflict : inventory_conflict option;
+  mutable journal : Journal.sink option;
   stats : Stats.t;
 }
 
@@ -75,10 +98,18 @@ let create ?(selection = Scc_algo.Largest) ?(eager = true) ?(consume = false)
     satisfied = 0;
     last_degradation = None;
     last_conflict = None;
+    journal = None;
     stats = Stats.create ();
   }
 
 let mode engine = engine.mode
+let selection engine = engine.selection
+let eager engine = engine.eager
+let consume engine = engine.consume
+let set_journal engine sink = engine.journal <- sink
+
+let emit engine record =
+  match engine.journal with None -> () | Some sink -> sink record
 
 (* Live entries in submission (= id) order. *)
 let live_entries engine =
@@ -86,6 +117,11 @@ let live_entries engine =
   |> List.sort (fun a b -> Int.compare a.id b.id)
 
 let pending engine = List.map (fun e -> e.query) (live_entries engine)
+
+let pending_entries engine =
+  List.map (fun e -> (e.id, e.query)) (live_entries engine)
+
+let next_id engine = engine.next_id
 
 let pending_count engine = Hashtbl.length engine.entries
 
@@ -121,6 +157,16 @@ let refresh_db_version engine =
 let sync_db_version engine =
   if engine.mode = Incremental then
     engine.db_version <- Database.data_version engine.db
+
+(* Every public operation starts here.  Per-operation verdicts from the
+   PREVIOUS operation — a degradation, an inventory conflict — are
+   cleared in one place so no entry point can forget and report (or
+   journal) a stale failure after a later clean pass; then external
+   database mutations are absorbed into the dirty set. *)
+let begin_op engine =
+  engine.last_degradation <- None;
+  engine.last_conflict <- None;
+  refresh_db_version engine
 
 let index_entry engine e =
   List.iter
@@ -177,10 +223,13 @@ let union_ids engine a b =
    persistent state is maintained: probe the indexes for partners
    (before indexing the entry's own atoms, so it cannot partner with
    itself), record the adjacency on both sides, union into the
-   partition, and mark the (possibly fused) component dirty. *)
-let add_entry engine query =
-  let id = engine.next_id in
-  engine.next_id <- id + 1;
+   partition, and mark the (possibly fused) component dirty.
+
+   [admit] takes the id explicitly so recovery replay (lib/durable) can
+   re-admit entries under their journaled ids; live submissions go
+   through [add_entry], which allocates the next id. *)
+let admit engine ~id query =
+  if id >= engine.next_id then engine.next_id <- id + 1;
   let e = { id; query; neighbours = [] } in
   (match engine.mode with
   | Full_rebuild -> Hashtbl.replace engine.entries id e
@@ -199,6 +248,8 @@ let add_entry engine query =
     List.iter (fun p -> union_ids engine id p) partners;
     mark_dirty engine id);
   e
+
+let add_entry engine query = admit engine ~id:engine.next_id query
 
 (* Remove [ids] from the pool.  In incremental mode their components are
    dissolved: every surviving member is reset to a union-find singleton
@@ -355,6 +406,10 @@ let consume_inventory engine (queries : Query.t array) (solution : Solution.t)
         order := key :: !order)
     deletions;
   let order = List.rev !order in
+  (* Journal the deduplicated deletion list — the exact tuples the
+     delete pass below issues, each once — so replay re-applies the
+     committed bookings verbatim and can never double-spend. *)
+  if order <> [] then emit engine (Journal.Consumed { deletions = order });
   let double_spent =
     List.filter (fun key -> fst (Hashtbl.find counts key) > 1) order
   in
@@ -411,6 +466,7 @@ let evaluate engine ids =
       in
       retire engine member_ids;
       engine.satisfied <- engine.satisfied + List.length satisfied_queries;
+      emit engine (Journal.Retired { ids = member_ids });
       if engine.consume then consume_inventory engine outcome.queries solution;
       Ok (Some { queries = satisfied_queries; assignment = solution.assignment }))
 
@@ -441,10 +497,9 @@ let submit engine query =
       ])
     "online.submit"
   @@ fun () ->
-  engine.last_degradation <- None;
-  engine.last_conflict <- None;
-  refresh_db_version engine;
+  begin_op engine;
   let e = add_entry engine query in
+  emit engine (Journal.Submitted { id = e.id; query });
   let result =
     if not engine.eager then Pending
     else
@@ -452,10 +507,18 @@ let submit engine query =
       | Error ws ->
         (* Do not admit a query that makes its component unsafe. *)
         retire engine [ e.id ];
+        emit engine (Journal.Rejected { id = e.id });
         Rejected_unsafe ws
       | Ok None -> Pending
       | Ok (Some c) -> Coordinated c
   in
+  emit engine
+    (Journal.Op_end
+       {
+         op = Journal.Submit_op;
+         fired =
+           (match result with Coordinated c -> List.length c.queries | _ -> 0);
+       });
   sync_db_version engine;
   result
 
@@ -655,14 +718,14 @@ let flush ?domains engine =
       ])
     "online.flush"
   @@ fun () ->
-  engine.last_degradation <- None;
-  engine.last_conflict <- None;
-  refresh_db_version engine;
+  begin_op engine;
   let fired =
     match domains with
     | None -> flush_core engine
     | Some k -> flush_speculative engine (max 1 k)
   in
+  emit engine
+    (Journal.Op_end { op = Journal.Flush_op; fired = List.length fired });
   sync_db_version engine;
   fired
 
@@ -675,10 +738,47 @@ let submit_all engine queries =
       ])
     "online.submit_all"
   @@ fun () ->
-  engine.last_degradation <- None;
-  engine.last_conflict <- None;
-  refresh_db_version engine;
-  List.iter (fun q -> ignore (add_entry engine q)) queries;
+  begin_op engine;
+  List.iter
+    (fun q ->
+      let e = add_entry engine q in
+      emit engine (Journal.Submitted { id = e.id; query = q }))
+    queries;
   let fired = flush_core engine in
+  emit engine
+    (Journal.Op_end { op = Journal.Submit_all_op; fired = List.length fired });
   sync_db_version engine;
   fired
+
+(* Recovery replay (lib/durable).  These re-apply journaled effects to
+   a fresh engine without evaluating anything: the journal already says
+   which sets fired and which tuples were booked, so replay cannot
+   diverge from the pre-crash history.  None of them emit journal
+   records — recovery attaches its sink only after replay finishes. *)
+
+let restore_submit engine ~id query =
+  if id < engine.next_id then
+    invalid_arg
+      (Printf.sprintf "Online.restore_submit: id %d below next_id %d" id
+         engine.next_id);
+  ignore (admit engine ~id query)
+
+let restore_retire engine ids =
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem engine.entries id) then
+        invalid_arg (Printf.sprintf "Online.restore_retire: id %d not live" id))
+    ids;
+  retire engine ids;
+  engine.satisfied <- engine.satisfied + List.length ids
+
+let restore_evict engine id =
+  if not (Hashtbl.mem engine.entries id) then
+    invalid_arg (Printf.sprintf "Online.restore_evict: id %d not live" id);
+  retire engine [ id ]
+
+let restore_counters engine ~satisfied ~next_id =
+  if next_id < engine.next_id then
+    invalid_arg "Online.restore_counters: next_id below an admitted id";
+  engine.satisfied <- satisfied;
+  engine.next_id <- next_id

@@ -78,6 +78,12 @@ val create :
 
 val mode : t -> mode
 
+val selection : t -> Scc_algo.selection
+
+val eager : t -> bool
+
+val consume : t -> bool
+
 type coordinated = {
   queries : Query.t list;        (** the satisfied queries, in pool order *)
   assignment : Eval.valuation;
@@ -124,6 +130,17 @@ val flush : ?domains:int -> t -> coordinated list
 val pending : t -> Query.t list
 (** Queries still waiting, in submission order. *)
 
+val pending_entries : t -> (int * Query.t) list
+(** Queries still waiting with their pool ids, in submission (= id)
+    order.  Ids are allocated in submission order and never reused, so
+    they are stable names for entries across retirements — the identity
+    a write-ahead log journals and a recovery replays
+    (see [lib/durable]). *)
+
+val next_id : t -> int
+(** The id the next admitted entry will receive (strictly greater than
+    every id ever admitted, live or retired). *)
+
 val pending_count : t -> int
 
 val components : t -> int list list
@@ -165,3 +182,66 @@ val last_inventory_conflict : t -> inventory_conflict option
     (engine created with [consume:true]) double-demanded or missed a
     tuple — see {!inventory_conflict}.  Cleared at the start of the next
     {!submit}, {!submit_all} or {!flush}. *)
+
+(** {2 Durability hooks}
+
+    The engine itself is purely in-memory; [lib/durable] makes it
+    crash-recoverable by journaling {e effects} (admissions,
+    retirements, the two-phase consume commit's deduplicated deletion
+    list) through a {!Journal.sink} and replaying them through the
+    [restore_*] functions below.  Replay never re-evaluates a
+    component: which sets fired and which tuples were booked comes from
+    the journal, so a recovery cannot fire a different set or
+    double-spend inventory, whatever the crash point. *)
+
+module Journal : sig
+  (** Which public operation a record group belongs to. *)
+  type op = Submit_op | Submit_all_op | Flush_op
+
+  type record =
+    | Submitted of { id : int; query : Query.t }
+        (** an entry joined the pool under [id] *)
+    | Rejected of { id : int }
+        (** eager {!submit} admitted [id], found its component unsafe
+            and evicted it (no satisfied-count change) *)
+    | Retired of { ids : int list }
+        (** a fired set left the pool; the lifetime satisfied count
+            grew by [List.length ids] *)
+    | Consumed of { deletions : (string * Tuple.t) list }
+        (** the deduplicated inventory deletions actually issued by the
+            two-phase consume commit, in first-demand order — each
+            deleted exactly once *)
+    | Op_end of { op : op; fired : int }
+        (** the operation finished having fired [fired] sets; the
+            atomic commit boundary for everything since the previous
+            [Op_end] *)
+
+  type sink = record -> unit
+end
+
+val set_journal : t -> Journal.sink option -> unit
+(** Install (or remove) the journal sink.  Records are emitted at the
+    points where the engine commits state: after an admission, after a
+    fired set's retirement, after the consume pass resolves its
+    deletion list, and once per public operation as {!Journal.Op_end}. *)
+
+val restore_submit : t -> id:int -> Query.t -> unit
+(** Re-admit a journaled entry under its original id.  Ids must be
+    replayed in increasing order.
+    @raise Invalid_argument if [id] is below {!next_id}. *)
+
+val restore_retire : t -> int list -> unit
+(** Re-apply a journaled retirement: the (live) ids leave the pool and
+    the lifetime satisfied count grows by their number.
+    @raise Invalid_argument if any id is not live. *)
+
+val restore_evict : t -> int -> unit
+(** Re-apply a journaled unsafe rejection: the (live) id leaves the
+    pool with no satisfied-count change.
+    @raise Invalid_argument if the id is not live. *)
+
+val restore_counters : t -> satisfied:int -> next_id:int -> unit
+(** Restore the lifetime satisfied count and the id allocator from a
+    snapshot (retired ids may exceed every live id, so neither can be
+    derived from the restored pool).
+    @raise Invalid_argument if [next_id] would re-issue an admitted id. *)

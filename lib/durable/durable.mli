@@ -1,0 +1,203 @@
+(** Durability for the online coordination engine: a checksummed binary
+    write-ahead log plus periodic snapshots, and a recovery path that
+    tolerates arbitrarily torn tails.
+
+    {2 What is journaled}
+
+    The engine journals {e effects}, not computations
+    ({!Coordination.Online.Journal}): admissions, unsafe evictions,
+    fired-set retirements and the two-phase consume commit's
+    deduplicated deletion list, grouped per public operation.  A group
+    becomes durable atomically — its last record carries a commit flag,
+    and recovery replays only complete groups — so a crash at any byte
+    offset recovers to an operation boundary: the pool, satisfied count
+    and store either include a whole operation or none of it, and a
+    booked tuple can never be spent twice.
+
+    {2 On-disk layout}
+
+    A WAL directory holds segments [wal-<first-lsn>.log] and snapshots
+    [snap-<lsn>.img].  Records are length-prefixed and CRC32-checksummed
+    with strictly monotonic LSNs; segments start at the LSN in their
+    name.  Snapshots serialize the full recoverable state (engine meta,
+    pool, satisfied count, store contents for either backend via a
+    snapshot-local value dictionary) and are written to a temporary
+    file, fsynced, atomically renamed, and fsynced into the directory;
+    only then does the WAL rotate to a fresh segment and prune history
+    (the latest two snapshots and the segments they need are kept).
+
+    {2 Recovery and truncation}
+
+    {!recover} loads the newest snapshot that passes validation
+    (corrupt ones are skipped with a reason), replays the WAL tail, and
+    stops at the first torn, short, bit-flipped or garbage record —
+    reporting a typed {!truncation} rather than raising.  The valid
+    prefix is then made durable again by a recovery checkpoint: a fresh
+    snapshot at the recovered LSN, a fresh segment, and deletion of all
+    older files including the torn bytes (truncation by checkpoint —
+    nothing is ever patched in place, so a crash during recovery is
+    itself recoverable). *)
+
+open Relational
+open Coordination
+
+(** {1 Configuration} *)
+
+(** When the WAL reaches the platter.  [Always] fsyncs every committed
+    operation group (no committed operation can be lost); [Every_n n]
+    fsyncs every [n] groups and on snapshot/close (bounded loss window,
+    much cheaper); [Never] leaves flushing to the OS page cache (data
+    survives process crashes but not power loss).  The [durability]
+    bench ablation measures the per-submit cost of each. *)
+type fsync_policy = Always | Every_n of int | Never
+
+val fsync_policy_to_string : fsync_policy -> string
+
+val fsync_policy_of_string : string -> fsync_policy option
+(** ["always"], ["never"], or ["every-n:<N>"] with [N >= 1]. *)
+
+type config = {
+  dir : string;  (** the WAL directory (created if missing) *)
+  fsync : fsync_policy;
+  snapshot_every : int;
+      (** take a snapshot after this many committed groups;
+          [0] disables periodic snapshots *)
+}
+
+val config : ?fsync:fsync_policy -> ?snapshot_every:int -> string -> config
+(** [config dir] with [fsync] defaulting to [Always] and
+    [snapshot_every] to [512]. *)
+
+(** {1 The live handle} *)
+
+type t
+
+val create_engine :
+  ?selection:Scc_algo.selection ->
+  ?eager:bool ->
+  ?consume:bool ->
+  ?mode:Online.mode ->
+  ?backend:Database.backend ->
+  config ->
+  t * Database.t * Online.t
+(** Create a fresh durable engine: an empty database and
+    {!Coordination.Online} engine whose operations journal through the
+    WAL in [config.dir].  The engine meta (backend, eager, consume,
+    selection) is the WAL's first record, so {!recover} can rebuild an
+    equivalent engine without being told.
+    @raise Invalid_argument if the directory already holds WAL files
+    (use {!recover} or {!open_or_recover}), or if [selection] is
+    [Preferred _] — a closure cannot be journaled, so a durable engine
+    cannot carry one. *)
+
+val close : t -> unit
+(** Flush, fsync (unless the policy is [Never]) and close the current
+    segment, detaching the journal sink.  Idempotent. *)
+
+val snapshot : t -> unit
+(** Force a snapshot + segment rotation + prune now (the same protocol
+    periodic snapshots use). *)
+
+val journal_insert : t -> string -> Value.t list -> unit
+(** Journal an external tuple insert (e.g. a repl [fact] statement) as
+    its own committed group.  The caller performs the actual
+    {!Relational.Database.insert}; replay re-issues it. *)
+
+val journal_create_table : t -> string -> string list -> unit
+(** Journal an external table creation; see {!journal_insert}. *)
+
+val dir : t -> string
+
+val current_segment : t -> string
+(** Path of the segment currently appended to. *)
+
+val wal_offset : t -> int
+(** Bytes written to the current segment (committed groups only — the
+    in-flight group buffers in memory until its [Op_end]). *)
+
+val synced_offset : t -> int
+(** Bytes of the current segment known fsynced ([<= wal_offset];
+    trailing [wal_offset - synced_offset] bytes may vanish on a power
+    loss).  Chaos tests cut files here to simulate exactly that. *)
+
+val last_lsn : t -> int64
+(** LSN of the last record written (snapshots cover up to this). *)
+
+(** {1 Recovery} *)
+
+(** Why scanning stopped: the typed corruption taxonomy.  Every one of
+    these truncates; none of them raises. *)
+type corruption =
+  | Short_record  (** the file ends inside a record *)
+  | Bad_length  (** a length prefix outside the sane record range *)
+  | Bad_crc  (** checksum mismatch — torn write or bit flip *)
+  | Bad_lsn  (** a gap or repeat in the LSN chain *)
+  | Bad_kind  (** an unknown record kind *)
+  | Bad_header  (** a segment whose header magic or LSN is wrong *)
+  | Bad_payload  (** a checksummed record whose payload fails to decode *)
+  | Uncommitted_group
+      (** the segment ends with complete records whose group never
+          committed — the crash landed between buffering and commit *)
+
+val corruption_to_string : corruption -> string
+
+type truncation = {
+  t_segment : string;  (** the segment holding the torn tail *)
+  valid_bytes : int;  (** prefix kept: offset of the last committed group end *)
+  dropped_bytes : int;  (** bytes discarded after it *)
+  reason : corruption;
+}
+
+type recovery_report = {
+  snapshot_loaded : (string * int64) option;
+      (** the snapshot restored, with its covered LSN *)
+  snapshots_skipped : (string * string) list;
+      (** corrupt or unreadable snapshots passed over, with reasons *)
+  segments_scanned : int;
+  records_replayed : int;  (** records applied from the WAL tail *)
+  groups_replayed : int;  (** committed groups among them *)
+  recovered_lsn : int64;  (** state is exact as of this LSN *)
+  truncation : truncation option;  (** [None] means a clean tail *)
+  segments_dropped : string list;
+      (** segments after a truncation, discarded whole *)
+  tmp_cleaned : string list;
+      (** leftover [.tmp] files from an interrupted snapshot *)
+}
+
+val pp_report : Format.formatter -> recovery_report -> unit
+
+val recover :
+  ?mode:Online.mode -> config -> (t * Database.t * Online.t * recovery_report, string) result
+(** Rebuild the engine from [config.dir]: load the newest valid
+    snapshot, replay the WAL tail group by group, stop cleanly at any
+    corruption, then checkpoint (see the module comment).  The returned
+    engine observes — pool, ids, components, satisfied count, store
+    contents — exactly as a never-crashed engine after the same
+    committed operations; solver statistics do not survive, and every
+    recovered component is conservatively dirty.  [mode] (default
+    [Incremental]) only selects the evaluation strategy, which is
+    observationally irrelevant.  [Error _] when the directory holds no
+    recoverable state at all. *)
+
+val open_or_recover :
+  ?selection:Scc_algo.selection ->
+  ?eager:bool ->
+  ?consume:bool ->
+  ?mode:Online.mode ->
+  ?backend:Database.backend ->
+  config ->
+  (t * Database.t * Online.t * recovery_report option, string) result
+(** {!recover} when [config.dir] already holds WAL files (the creation
+    options are then ignored in favour of the journaled meta), else
+    {!create_engine}. *)
+
+(** {1 Wire-format internals, exposed for tests} *)
+
+module Crc32 : sig
+  val string : string -> int
+  (** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a whole string;
+      ["123456789"] hashes to [0xCBF43926]. *)
+
+  val bytes : ?crc:int -> Bytes.t -> int -> int -> int
+  (** [bytes ~crc b off len] continues a running checksum. *)
+end

@@ -166,3 +166,43 @@ type degradation = {
 val degraded : ?unprobed:int list list -> ?note:string -> error -> degradation
 
 val pp_degradation : Format.formatter -> degradation -> unit
+
+(** {1 Seeded disk faults}
+
+    Crash simulation for the durability layer's chaos suite
+    ([lib/durable], [test/test_durable.ml]): the same seeded,
+    replayable discipline the probe injector applies to evaluation is
+    applied to files.  Nothing here touches a live guard — these are
+    offline mutations of WAL bytes between a simulated crash and the
+    recovery under test. *)
+module Disk_fault : sig
+  type kind =
+    | Torn_write of { keep : int }
+        (** the final append only partially reached the disk: the file
+            is cut at an arbitrary byte inside the unprotected tail *)
+    | Lost_tail of { keep : int }
+        (** a partial fsync: everything after the last known-synced
+            offset vanishes at once *)
+    | Bit_flip of { offset : int; mask : int }
+        (** silent media corruption of one byte *)
+
+  val pp : Format.formatter -> kind -> unit
+
+  val draw : Prng.t -> protect:int -> size:int -> kind
+  (** Draw a fault for a file of [size] bytes whose first [protect]
+      bytes must stay intact (cut points land in [[protect, size - 1]],
+      flips in the same range).  Deterministic in the PRNG state.
+      @raise Invalid_argument when [size <= protect] — nothing left to
+      corrupt. *)
+
+  val apply : path:string -> kind -> unit
+  (** Mutilate the file in place. *)
+end
+
+val backoff_ns : t -> int -> int64
+(** [backoff_ns g i]: the sleep the guard charges for retry number [i]
+    (0-based) — [backoff_base_ns] shifted left by [min i 20], then
+    jittered uniformly into [[base*(1-j), base*(1+j)]].  Each call with
+    a nonzero jitter consumes one draw from the guard's seeded stream,
+    so two guards armed with the same config yield the same schedule.
+    Exposed for the determinism tests. *)

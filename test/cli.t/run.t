@@ -396,3 +396,140 @@ fold into the same process-wide registry.
   $ entangle solve figure1.eq --parallel --domains 4 --metrics 2>&1 | grep '^counter'
   counter eval.probes 2
   counter eval.probes{F,H} 2
+
+Numeric flags are validated at parse time with messages naming the
+constraint, instead of leaking nonsense into the solver.
+
+  $ entangle solve figure1.eq --fault-rate 1.5
+  entangle: option '--fault-rate': expected a probability in [0.0, 1.0], got
+            1.5
+  Usage: entangle solve [OPTION]… FILE
+  Try 'entangle solve --help' or 'entangle --help' for more information.
+  [124]
+  $ entangle solve figure1.eq --fault-rate banana
+  entangle: option '--fault-rate': expected a number, got "banana"
+  Usage: entangle solve [OPTION]… FILE
+  Try 'entangle solve --help' or 'entangle --help' for more information.
+  [124]
+  $ entangle solve figure1.eq --deadline-ms=-5
+  entangle: option '--deadline-ms': expected a non-negative number, got -5
+  Usage: entangle solve [OPTION]… FILE
+  Try 'entangle solve --help' or 'entangle --help' for more information.
+  [124]
+  $ entangle solve figure1.eq --max-probes=-1
+  entangle: option '--max-probes': expected a non-negative integer, got -1
+  Usage: entangle solve [OPTION]… FILE
+  Try 'entangle solve --help' or 'entangle --help' for more information.
+  [124]
+  $ entangle solve figure1.eq --parallel --domains 0
+  entangle: option '--domains': expected a positive integer, got 0
+  Usage: entangle solve [OPTION]… FILE
+  Try 'entangle solve --help' or 'entangle --help' for more information.
+  [124]
+  $ entangle repl --wal w --fsync sometimes < /dev/null
+  entangle: option '--fsync': unknown fsync policy "sometimes"
+            (always|never|every-n:<N>)
+  Usage: entangle repl [OPTION]…
+  Try 'entangle repl --help' or 'entangle --help' for more information.
+  [124]
+  $ entangle repl --wal w --fsync every-n:0 < /dev/null
+  entangle: option '--fsync': unknown fsync policy "every-n:0"
+            (always|never|every-n:<N>)
+  Usage: entangle repl [OPTION]…
+  Try 'entangle repl --help' or 'entangle --help' for more information.
+  [124]
+  $ entangle repl --wal w --snapshot-every=-3 < /dev/null
+  entangle: option '--snapshot-every': expected a non-negative integer, got -3
+  Usage: entangle repl [OPTION]…
+  Try 'entangle repl --help' or 'entangle --help' for more information.
+  [124]
+
+With --wal the repl journals every operation to a checksummed
+write-ahead log; \snapshot forces a checkpoint and \wal shows the
+journal status.
+
+  $ entangle repl --consume --wal wal <<'REPL'
+  > table Flights(fid, dest).
+  > fact Flights(101, Zurich).
+  > query gwyneth: { R(Chris, x) } R(Gwyneth, x) :- Flights(x, Zurich).
+  > query chris: { } R(Chris, y) :- Flights(y, Zurich).
+  > query amy: { R(Ben, u) } R(Amy, u) :- Flights(u, Zurich).
+  > \snapshot
+  > \quit
+  > REPL
+  wal: new journal in wal
+  table Flights created
+  pending: gwyneth
+  coordinated: {gwyneth, chris}
+  pending: amy
+  snapshot written at LSN 8
+  bye: 2 queries coordinated, 1 still pending
+
+The recover subcommand rebuilds the engine from the journal: the
+snapshot is loaded, the (empty) tail replayed, and the recovered
+engine still knows amy is pending and that the coordinated pair
+consumed the flight tuple.
+
+  $ entangle recover wal
+  snapshot: snap-00000000000000000008.img (lsn 8)
+  segments scanned: 1
+  records replayed: 0 (0 committed groups)
+  recovered lsn: 8
+  tail: clean
+  
+  engine: 1 pending, 2 coordinated (lifetime)
+  database: 1 relations, 0 tuples
+
+Reopening the same directory with repl recovers first, then carries
+on.  Ben would pair with amy — but the recovered engine remembers the
+coordinated pair already consumed the only Zurich flight, so the pair
+stays pending instead of double-spending the booked tuple.
+
+  $ entangle repl --consume --wal wal <<'REPL'
+  > query ben: { R(Amy, v) } R(Ben, v) :- Flights(v, Zurich).
+  > \quit
+  > REPL
+  snapshot: snap-00000000000000000008.img (lsn 8)
+  segments scanned: 1
+  records replayed: 0 (0 committed groups)
+  recovered lsn: 8
+  tail: clean
+  
+  pending: ben
+  bye: 2 queries coordinated, 2 still pending
+
+A torn tail — the last bytes of the segment vanish, as after a power
+cut mid-write — is detected by checksum, truncated back to the last
+committed operation, and re-checkpointed, so the fact written by the
+torn group is gone but everything before it survives and a second
+recovery is clean.
+
+  $ entangle repl --wal wal2 <<'REPL'
+  > table T(a).
+  > fact T(1).
+  > fact T(2).
+  > \quit
+  > REPL
+  wal: new journal in wal2
+  table T created
+  bye: 0 queries coordinated, 0 still pending
+  $ seg=$(ls wal2/wal-*.log | tail -1)
+  $ head -c -7 "$seg" > torn.tmp && mv torn.tmp "$seg"
+  $ entangle recover wal2
+  snapshot: none
+  segments scanned: 1
+  records replayed: 3 (3 committed groups)
+  recovered lsn: 3
+  tail truncated: wal-00000000000000000001.log at byte 103 (28 bytes dropped, short record)
+  
+  engine: 0 pending, 0 coordinated (lifetime)
+  database: 1 relations, 1 tuples
+  $ entangle recover wal2
+  snapshot: snap-00000000000000000003.img (lsn 3)
+  segments scanned: 1
+  records replayed: 0 (0 committed groups)
+  recovered lsn: 3
+  tail: clean
+  
+  engine: 0 pending, 0 coordinated (lifetime)
+  database: 1 relations, 1 tuples

@@ -17,5 +17,6 @@ let () =
       ("workload", Test_workload.suite);
       ("obs", Test_obs.suite);
       ("resilient", Test_resilient.suite);
+      ("durable", Test_durable.suite);
       ("executor", Test_executor.suite);
     ]

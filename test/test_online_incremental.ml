@@ -302,6 +302,45 @@ let test_stats_merge () =
   (* [from] is untouched. *)
   Alcotest.(check int) "source intact" 4 b.db_probes
 
+(* A degraded flush must not haunt the next one: [last_degradation]
+   reports the most recent operation only, so once the guard is gone
+   and the retry succeeds the flag reads [None] again (regression test
+   for a stale-flag bug — the flag used to survive the recovery). *)
+let test_degradation_flag_cleared_on_recovery () =
+  let db = mk_db () in
+  let engine = Online.create ~eager:false db in
+  let qa =
+    Query.make ~name:"qa"
+      ~post:[ atom "R" [ cs "C"; var "x" ] ]
+      ~head:[ atom "R" [ cs "G"; var "x" ] ]
+      [ atom "F" [ var "x"; cs "Zurich" ] ]
+  and qb =
+    Query.make ~name:"qb" ~post:[]
+      ~head:[ atom "R" [ cs "C"; var "y" ] ]
+      [ atom "F" [ var "y"; cs "Zurich" ] ]
+  in
+  (match (Online.submit engine qa, Online.submit engine qb) with
+  | Online.Pending, Online.Pending -> ()
+  | _ -> Alcotest.fail "lazy submissions must enqueue");
+  (* An exhausted probe budget degrades the flush and fires nothing. *)
+  let guard =
+    Resilient.arm { Resilient.default_config with max_probes = Some 0 }
+  in
+  Database.set_guard db (Some guard);
+  Alcotest.(check int)
+    "degraded flush fires nothing" 0
+    (List.length (Online.flush engine));
+  Alcotest.(check bool)
+    "degradation reported" true
+    (Online.last_degradation engine <> None);
+  (* Guard gone: the component is still dirty, the pair fires, and the
+     stale degradation flag is cleared by the successful operation. *)
+  Database.set_guard db None;
+  Alcotest.(check int) "pair fires" 1 (List.length (Online.flush engine));
+  Alcotest.(check bool)
+    "degradation cleared after recovery" true
+    (Online.last_degradation engine = None)
+
 let suite =
   [
     Alcotest.test_case "differential: incremental == full rebuild" `Quick
@@ -317,4 +356,6 @@ let suite =
     Alcotest.test_case "consume: disjoint inventory clean" `Quick
       test_consume_disjoint_inventory_no_conflict;
     Alcotest.test_case "stats merge sums every field" `Quick test_stats_merge;
+    Alcotest.test_case "degradation flag cleared on recovery" `Quick
+      test_degradation_flag_cleared_on_recovery;
   ]

@@ -389,6 +389,76 @@ let test_online_chaos_consume_matches () =
   Alcotest.(check (triple int int int))
     "consume under chaos books the same inventory" plain chaos
 
+(* ------------------------- Backoff schedule ------------------------ *)
+
+(* The exponential-backoff schedule is part of the determinism
+   contract: CI sweeps seeds, so two guards armed with the same config
+   must charge byte-identical sleeps. *)
+
+let backoff_config ?(jitter = Resilient.default_config.backoff_jitter) () =
+  {
+    Resilient.default_config with
+    backoff_jitter = jitter;
+    faults = Some { Resilient.fault_defaults with fault_seed = chaos_seed };
+  }
+
+let schedule cfg n =
+  let g = Resilient.arm cfg in
+  List.init n (Resilient.backoff_ns g)
+
+let test_backoff_deterministic () =
+  let a = schedule (backoff_config ()) 24
+  and b = schedule (backoff_config ()) 24 in
+  Alcotest.(check (list int64)) "same seed, same schedule" a b;
+  let c =
+    schedule
+      {
+        (backoff_config ()) with
+        faults =
+          Some { Resilient.fault_defaults with fault_seed = chaos_seed + 1 };
+      }
+      24
+  in
+  Alcotest.(check bool) "different seed perturbs the jitter" true (a <> c)
+
+let test_backoff_monotone_and_capped () =
+  (* Jitter off: the schedule is exactly base << min i 20. *)
+  let base = Resilient.default_config.backoff_base_ns in
+  let exact = schedule (backoff_config ~jitter:0.0 ()) 24 in
+  List.iteri
+    (fun i v ->
+      Alcotest.(check int64)
+        (Printf.sprintf "retry %d is base << %d" i (min i 20))
+        (Int64.shift_left base (min i 20))
+        v)
+    exact;
+  (* A jitter fraction <= 1/3 keeps each step's floor above the
+     previous step's ceiling, so the jittered schedule stays monotone
+     non-decreasing up to the cap. *)
+  let jittered = schedule (backoff_config ~jitter:0.25 ()) 21 in
+  let rec check_monotone i = function
+    | a :: (b :: _ as rest) ->
+      if a > b then
+        Alcotest.failf "retry %d backoff %Ld > retry %d backoff %Ld" i a
+          (i + 1) b;
+      check_monotone (i + 1) rest
+    | _ -> ()
+  in
+  check_monotone 0 jittered;
+  (* Every jittered value lands in the [+/- 25%] envelope of its rung. *)
+  List.iteri
+    (fun i v ->
+      let rung = Int64.to_float (Int64.shift_left base (min i 20)) in
+      let lo = Int64.of_float (rung *. 0.75)
+      and hi = Int64.of_float (rung *. 1.25) in
+      if v < lo || v > hi then
+        Alcotest.failf "retry %d backoff %Ld outside [%Ld, %Ld]" i v lo hi)
+    jittered;
+  (* Past the cap the rung stops growing; draws still jitter inside it. *)
+  let capped = schedule (backoff_config ~jitter:0.0 ()) 30 in
+  let at k = List.nth capped k in
+  Alcotest.(check int64) "shift caps at 20" (at 20) (at 29)
+
 let suite =
   [
     Alcotest.test_case "probe budget aborts typed" `Quick test_probe_budget;
@@ -401,6 +471,10 @@ let suite =
       test_injected_timeout_retries;
     Alcotest.test_case "fault schedule is seed-deterministic" `Quick
       test_injector_deterministic;
+    Alcotest.test_case "backoff schedule is seed-deterministic" `Quick
+      test_backoff_deterministic;
+    Alcotest.test_case "backoff is monotone, jitter-bounded, capped" `Quick
+      test_backoff_monotone_and_capped;
     Alcotest.test_case "chaos == fault-free: scc" `Quick test_differential_scc;
     Alcotest.test_case "chaos == fault-free: gupta" `Quick
       test_differential_gupta;
