@@ -40,9 +40,17 @@
      the disk's); like the other ratio families it ports across
      machines where raw timings do not.
 
+   - service overhead columns (`service_overhead_x` suffix): fail when
+     the fresh median exceeds an absolute cap (--service-overhead-cap,
+     default 5.0).  The service ablation commits the ratio of a
+     journaling submit stream over the plain one, both through the
+     frame protocol; the cap is looser than the WAL cap because the
+     journal rides on top of protocol cost here, and a socket round
+     trip amplifies small absolute regressions into large ratios.
+
      gate.exe --baseline BENCH_eval.json --fresh bench.json [--tolerance 0.25]
        [--speedup-floor 3.0] [--alloc-slack 0.5] [--overhead-cap 1.05]
-       [--wal-overhead-cap 3.0]
+       [--wal-overhead-cap 3.0] [--service-overhead-cap 5.0]
 
    The parser below covers exactly the JSON Series.to_json emits
    (objects, arrays, numbers, strings); it is not a general-purpose
@@ -228,6 +236,7 @@ type rule =
   | Alloc            (* fresh median must stay within slack of baseline *)
   | Overhead         (* fresh median must stay below the absolute cap *)
   | Wal_overhead     (* fresh median must stay below the WAL cap *)
+  | Service_overhead (* fresh median must stay below the service cap *)
 
 (* Sub-noise-floor medians are skipped: a 25% "regression" of 40
    microseconds is scheduler jitter, not a slowdown. *)
@@ -236,6 +245,7 @@ let rule_of_column name =
     && String.sub name (String.length name - String.length s) (String.length s) = s
   in
   if suffixed "minor_words_per_probe" then Some Alloc
+  else if suffixed "service_overhead_x" then Some Service_overhead
   else if suffixed "wal_overhead_x" then Some Wal_overhead
   else if suffixed "overhead_ratio" then Some Overhead
   else if suffixed "_speedup" then Some Speedup
@@ -252,6 +262,7 @@ let () =
   let alloc_slack = ref 0.5 in
   let overhead_cap = ref 1.05 in
   let wal_overhead_cap = ref 3.0 in
+  let service_overhead_cap = ref 5.0 in
   let spec =
     [
       ("--baseline", Arg.Set_string baseline_path, "FILE  committed baseline");
@@ -267,6 +278,8 @@ let () =
        "C  fail when an *overhead_ratio median exceeds C  (default 1.05)");
       ("--wal-overhead-cap", Arg.Set_float wal_overhead_cap,
        "C  fail when a *wal_overhead_x median exceeds C  (default 3.0)");
+      ("--service-overhead-cap", Arg.Set_float service_overhead_cap,
+       "C  fail when a *service_overhead_x median exceeds C  (default 5.0)");
     ]
   in
   Arg.parse spec
@@ -353,6 +366,19 @@ let () =
                          %.2fx cap (baseline %.3fx): journaling is taxing \
                          the submit path"
                         name col f !wal_overhead_cap b
+                      :: !failures
+                | Service_overhead ->
+                  incr checked;
+                  Printf.printf
+                    "  %-32s %-30s base %12.3fx fresh %12.3fx (cap %.2fx)\n"
+                    name col b f !service_overhead_cap;
+                  if f > !service_overhead_cap then
+                    failures :=
+                      Printf.sprintf
+                        "%s.%s journaled service overhead %.3fx exceeds the \
+                         %.2fx cap (baseline %.3fx): the WAL is taxing the \
+                         request path"
+                        name col f !service_overhead_cap b
                       :: !failures
                 | Overhead ->
                   incr checked;

@@ -12,7 +12,8 @@
 let usage =
   "main.exe [--fast] [--figure N]... [--ablation \
    evaluator|preprocess|selection|minimize|realistic|parallel|online|\
-   online-scaling|parallel-scaling|observability|resilience|storage]... \
+   online-scaling|parallel-scaling|observability|resilience|storage|\
+   durability|service]... \
    [--bechamel] \
    [--figures-only] [--json FILE]"
 
@@ -107,6 +108,10 @@ let () =
       | "durability" ->
         if fast then Ablations.durability ~rows:1_000 ~pools:[ 200; 1_000 ] ()
         else Ablations.durability ()
+      | "service" ->
+        if fast then
+          Ablations.service ~rows:1_000 ~requests:256 ~clients:[ 1; 8 ] ()
+        else Ablations.service ()
       | "storage" ->
         (* 100k rows even in fast mode: the speedup and allocation gates
            are only meaningful at the acceptance workload size. *)

@@ -770,6 +770,10 @@ let repl_cmd =
              meaningful with $(b,--wal).")
   in
   let run consume mode flight_recorder wal fsync snapshot_every backend =
+    (* A pipe downstream of the repl closing (e.g. `entangle repl | head`)
+       must end the session cleanly, not kill the process: ignore
+       SIGPIPE and let the write surface as Sys_error instead. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     (match flight_recorder with
     | None -> ()
     | Some path ->
@@ -858,9 +862,13 @@ let repl_cmd =
       | "\\snapshot" -> (
         match durable with
         | None -> Printf.printf "wal: not enabled (start with --wal DIR)\n"
-        | Some t ->
-          Durable.snapshot t;
-          Printf.printf "snapshot written at LSN %Ld\n" (Durable.last_lsn t))
+        | Some t -> (
+          match Durable.snapshot t with
+          | Ok () ->
+            Printf.printf "snapshot written at LSN %Ld\n"
+              (Durable.last_lsn t)
+          | Error why ->
+            Printf.printf "snapshot FAILED (%s); journal retained\n" why))
       | "\\help" -> print_endline repl_help
       | "\\quit" -> raise Exit
       | other -> Printf.printf "unknown directive %s (try \\help)\n" other
@@ -892,11 +900,13 @@ let repl_cmd =
            end
          end
        done
-     with End_of_file | Exit -> ());
+     with End_of_file | Exit | Sys_error _ -> ());
     Option.iter Durable.close durable;
-    Printf.printf "bye: %d queries coordinated, %d still pending\n"
-      (Coordination.Online.total_coordinated engine)
-      (Coordination.Online.pending_count engine)
+    (try
+       Printf.printf "bye: %d queries coordinated, %d still pending\n"
+         (Coordination.Online.total_coordinated engine)
+         (Coordination.Online.pending_count engine)
+     with Sys_error _ -> ())
   in
   let doc =
     "Interactive coordination server: facts and queries stream in, \
@@ -940,10 +950,322 @@ let recover_cmd =
   in
   Cmd.v (Cmd.info "recover" ~doc) Cmdliner.Term.(const run $ dir)
 
+(* ------------------------------ serve ------------------------------ *)
+
+(* Shared connection flags for serve/client. *)
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on (or connect to) a Unix-domain socket at $(docv).")
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST"
+        ~doc:"TCP host to bind or connect to (with $(b,--port)).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some nonneg_int_conv) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen on (or connect to) TCP $(docv); 0 binds ephemeral.")
+
+let listen_of_flags socket host port =
+  match (socket, port) with
+  | Some path, None -> Server.Unix_socket path
+  | None, Some p -> Server.Tcp (host, p)
+  | Some _, Some _ ->
+    Printf.eprintf "error: --socket and --port are mutually exclusive\n";
+    exit 2
+  | None, None ->
+    Printf.eprintf "error: one of --socket PATH or --port N is required\n";
+    exit 2
+
+let serve_cmd =
+  let consume =
+    Arg.(
+      value & flag
+      & info [ "consume" ]
+          ~doc:"Coordinated sets book their tuples: matched rows are deleted.")
+  in
+  let mode =
+    let modes =
+      [
+        ("incremental", Coordination.Online.Incremental);
+        ("full-rebuild", Coordination.Online.Full_rebuild);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum modes) Coordination.Online.Incremental
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Online engine mode.")
+  in
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:
+            "Journal every operation to a write-ahead log in $(docv); an \
+             existing journal is recovered first, so a killed server \
+             restarts into identical state.")
+  in
+  let fsync =
+    Arg.(
+      value
+      & opt fsync_conv Durable.Always
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:"WAL fsync policy (always|never|every-n:<N>).")
+  in
+  let snapshot_every =
+    Arg.(
+      value
+      & opt nonneg_int_conv 512
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Snapshot cadence in journaled operations (0 disables).")
+  in
+  let max_pending =
+    Arg.(
+      value
+      & opt pos_int_conv 1024
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Admission control: refuse submissions with a typed \
+             $(b,overloaded) frame once $(docv) entries are pending, \
+             instead of queueing unboundedly.")
+  in
+  let max_sessions =
+    Arg.(
+      value
+      & opt nonneg_int_conv 0
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Exit after $(docv) client sessions have come and gone (0 = \
+             serve forever).  Scripted tests use this to terminate \
+             deterministically.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Print session lifecycle lines to stdout.")
+  in
+  let flight_recorder =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-recorder" ] ~docv:"FILE"
+          ~doc:
+            "Arm the flight recorder; abnormal disconnects and degraded \
+             evaluations dump the recent-item window to $(docv).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Enable the metrics registry (per-request latency histogram, \
+             session/overload counters).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some nonneg_float_conv) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request evaluation deadline (see $(b,solve)).")
+  in
+  let max_probes =
+    Arg.(
+      value
+      & opt (some nonneg_int_conv) None
+      & info [ "max-probes" ] ~docv:"N" ~doc:"Per-request probe budget.")
+  in
+  let max_tuples =
+    Arg.(
+      value
+      & opt (some nonneg_int_conv) None
+      & info [ "max-tuples" ] ~docv:"N"
+          ~doc:"Per-request tuples-scanned budget.")
+  in
+  let probe_timeout_ms =
+    Arg.(
+      value
+      & opt (some nonneg_float_conv) None
+      & info [ "probe-timeout-ms" ] ~docv:"MS" ~doc:"Per-probe timeout.")
+  in
+  let max_attempts =
+    Arg.(
+      value & opt pos_int_conv 4
+      & info [ "max-attempts" ] ~docv:"N" ~doc:"Tries per probe.")
+  in
+  let run socket host port consume mode backend wal fsync snapshot_every
+      max_pending max_sessions verbose flight_recorder metrics deadline_ms
+      max_probes max_tuples probe_timeout_ms max_attempts =
+    let listen = listen_of_flags socket host port in
+    (match flight_recorder with
+    | None -> ()
+    | Some path ->
+      Obs.Flight_recorder.set_dump_path (Some path);
+      Obs.Flight_recorder.arm ());
+    if metrics then Obs.set_metrics true;
+    let durable, db, engine =
+      match wal with
+      | None ->
+        let db = Database.create ~backend () in
+        (None, db, Coordination.Online.create ~consume ~mode db)
+      | Some dir -> (
+        match
+          Durable.open_or_recover ~consume ~mode ~backend
+            (Durable.config ~fsync ~snapshot_every dir)
+        with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+        | Ok (t, db, engine, report) ->
+          (match report with
+          | None -> Printf.printf "wal: new journal in %s\n" dir
+          | Some r -> Format.printf "%a@." Durable.pp_report r);
+          (Some t, db, engine))
+    in
+    let guard =
+      if
+        deadline_ms = None && max_probes = None && max_tuples = None
+        && probe_timeout_ms = None
+      then None
+      else begin
+        let ns_of_ms ms = Int64.of_float (ms *. 1e6) in
+        Some
+          (Resilient.arm
+             {
+               Resilient.default_config with
+               max_probes;
+               max_tuples;
+               deadline_ns = Option.map ns_of_ms deadline_ms;
+               probe_timeout_ns = Option.map ns_of_ms probe_timeout_ms;
+               max_attempts;
+             })
+      end
+    in
+    Database.set_guard db guard;
+    let cfg =
+      {
+        (Server.default_config listen) with
+        Server.max_pending;
+        max_sessions;
+        verbose;
+      }
+    in
+    let srv = Server.create cfg { Server.db; engine; durable; guard } in
+    (match listen with
+    | Server.Unix_socket path -> Printf.printf "serving on unix:%s\n%!" path
+    | Server.Tcp (host, _) ->
+      Printf.printf "serving on %s:%d\n%!" host (Server.port srv));
+    Server.run srv;
+    Server.stop srv;
+    Option.iter Durable.close durable;
+    Printf.printf "served %d sessions; %d coordinated, %d still pending\n"
+      (Server.sessions_served srv)
+      (Coordination.Online.total_coordinated engine)
+      (Coordination.Online.pending_count engine)
+  in
+  let doc =
+    "Coordination as a service: a long-lived socket server multiplexing \
+     many client sessions onto one online engine (length-prefixed JSON \
+     frames: submit/retire/flush/status/subscribe, asynchronous matched/\
+     degraded notifications).  With $(b,--wal) the engine is durable: \
+     kill the server, start it again on the same directory, and it \
+     resumes with identical state."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Cmdliner.Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ consume $ mode
+      $ backend_arg $ wal $ fsync $ snapshot_every $ max_pending
+      $ max_sessions $ verbose $ flight_recorder $ metrics $ deadline_ms
+      $ max_probes $ max_tuples $ probe_timeout_ms $ max_attempts)
+
+(* ------------------------------ client ----------------------------- *)
+
+let client_cmd =
+  let abort_after =
+    Arg.(
+      value
+      & opt (some pos_int_conv) None
+      & info [ "abort-after" ] ~docv:"N"
+          ~doc:
+            "Disconnect abruptly (RST, nothing read) after sending $(docv) \
+             requests — simulates a client dying mid-stream; the server \
+             must tear down that session and keep serving others.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt nonneg_float_conv 5.0
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:"Seconds to wait for each response frame.")
+  in
+  let run socket host port abort_after timeout =
+    let listen = listen_of_flags socket host port in
+    let conn = Server.Client.connect listen in
+    let sent = ref 0 in
+    let aborted = ref false in
+    (try
+       while not !aborted do
+         let line = String.trim (input_line stdin) in
+         if line <> "" then begin
+           match Server.Json.parse line with
+           | Error why -> Printf.printf "client: bad request json: %s\n" why
+           | Ok req ->
+             Server.Client.send conn req;
+             incr sent;
+             (match abort_after with
+             | Some k when !sent >= k ->
+               Server.Client.abort conn;
+               aborted := true;
+               Printf.printf "client: aborted after %d requests\n" k
+             | _ ->
+               (* Print every frame up to and including the echoed
+                  response; subscribed notifications precede it. *)
+               let rec await () =
+                 match Server.Client.recv ~timeout conn with
+                 | None -> Printf.printf "client: timeout\n"
+                 | Some frame ->
+                   print_endline (Server.Json.to_string frame);
+                   if Server.Json.str_mem "notify" frame <> None then
+                     await ()
+               in
+               await ())
+         end
+       done
+     with End_of_file -> ());
+    if not !aborted then Server.Client.close conn
+  in
+  let doc =
+    "Scripted client for $(b,entangle serve): reads one JSON request per \
+     stdin line, sends it as a frame, and prints the response (and any \
+     notification frames preceding it).  The workhorse of the cram \
+     socket sessions and the mid-stream disconnect test."
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Cmdliner.Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ abort_after $ timeout)
+
 let () =
   let doc = "data-driven coordination with entangled queries" in
   let info = Cmd.info "entangle" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ solve_cmd; check_cmd; generate_cmd; repl_cmd; recover_cmd ]))
+          [
+            solve_cmd;
+            check_cmd;
+            generate_cmd;
+            repl_cmd;
+            recover_cmd;
+            serve_cmd;
+            client_cmd;
+          ]))

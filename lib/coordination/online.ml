@@ -28,7 +28,7 @@ type inventory_conflict = {
    public operation emitted; a durability layer uses it as the atomic
    commit boundary. *)
 module Journal = struct
-  type op = Submit_op | Submit_all_op | Flush_op
+  type op = Submit_op | Submit_all_op | Flush_op | Withdraw_op
 
   type record =
     | Submitted of { id : int; query : Query.t }
@@ -521,6 +521,34 @@ let submit engine query =
        });
   sync_db_version engine;
   result
+
+(* Withdraw a pending entry by pool id — the service layer's `retire`
+   verb: a client takes an offer back before it coordinates.  Journaled
+   as a [Rejected] effect (the replay semantics are identical to an
+   unsafe eviction: the id leaves the pool with no satisfied-count
+   change).  Removal can newly enable a coordinating set among the
+   remainder — the withdrawn query may have been what made its
+   component unsafe or over-constrained — so survivors are marked
+   dirty by [retire]; the next flush (or eager submit) re-evaluates
+   them. *)
+let withdraw engine id =
+  Obs.with_span
+    ~args:(fun () ->
+      [
+        ("id", Obs.Int id);
+        ("pool", Obs.Int (Hashtbl.length engine.entries));
+      ])
+    "online.withdraw"
+  @@ fun () ->
+  begin_op engine;
+  if not (Hashtbl.mem engine.entries id) then false
+  else begin
+    retire engine [ id ];
+    emit engine (Journal.Rejected { id });
+    emit engine (Journal.Op_end { op = Journal.Withdraw_op; fired = 0 });
+    sync_db_version engine;
+    true
+  end
 
 (* Full-rebuild flush: re-derive the components of the whole pool, try
    each in order, restart after a fire (positions shift).  Re-evaluate

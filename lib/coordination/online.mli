@@ -127,6 +127,17 @@ val flush : ?domains:int -> t -> coordinated list
     Worker views are unguarded: any {!Resilient} guard on the engine's
     database only constrains the committing evaluations. *)
 
+val withdraw : t -> int -> bool
+(** [withdraw engine id] removes the pending entry with pool id [id]
+    (see {!pending_entries}) without satisfying it — the online
+    counterpart of a client cancelling an offer it no longer wants.
+    Returns [false] when [id] is not live (never admitted, already
+    coordinated, or already withdrawn); the engine is unchanged.
+    Journaled as an eviction, so a durable session replays it exactly.
+    Removal can newly enable a coordinating set among the remaining
+    pool members; the affected component is re-evaluated at the next
+    {!flush} or eager {!submit}. *)
+
 val pending : t -> Query.t list
 (** Queries still waiting, in submission order. *)
 
@@ -196,7 +207,7 @@ val last_inventory_conflict : t -> inventory_conflict option
 
 module Journal : sig
   (** Which public operation a record group belongs to. *)
-  type op = Submit_op | Submit_all_op | Flush_op
+  type op = Submit_op | Submit_all_op | Flush_op | Withdraw_op
 
   type record =
     | Submitted of { id : int; query : Query.t }

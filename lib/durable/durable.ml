@@ -321,6 +321,11 @@ let c_groups = lazy (Obs.Counter.make ~help:"WAL groups committed" "wal.groups")
 let c_fsyncs = lazy (Obs.Counter.make ~help:"WAL fsyncs issued" "wal.fsyncs")
 let c_snapshots = lazy (Obs.Counter.make ~help:"snapshots written" "wal.snapshots")
 
+let c_snapshot_failures =
+  lazy
+    (Obs.Counter.make ~help:"snapshot writes that failed (journal retained)"
+       "wal.snapshot_failures")
+
 let c_truncations =
   lazy
     (Obs.Counter.make ~help:"corrupt WAL tails truncated at recovery"
@@ -622,7 +627,15 @@ let prune ~keep dirname =
   in
   drop segs
 
+(* Test-only fault injection: when set, [write_snapshot_file] raises
+   the given exception instead of writing — the moral equivalent of an
+   EACCES or ENOSPC from the filesystem, which the test harness cannot
+   provoke for real (suites run as root, where chmod is advisory). *)
+let snapshot_fault : exn option ref = ref None
+let inject_snapshot_failure e = snapshot_fault := e
+
 let write_snapshot_file ~dirname ~lsn payload =
+  (match !snapshot_fault with Some e -> raise e | None -> ());
   let name = snapshot_name lsn in
   let path = Filename.concat dirname name in
   let tmp = path ^ ".tmp" in
@@ -645,6 +658,32 @@ let write_snapshot_file ~dirname ~lsn payload =
   fsync_dir dirname;
   path
 
+(* Write a snapshot, turning filesystem failures (full disk, EACCES,
+   a vanished directory) into [Error] instead of an exception — and
+   never leaving a half-written [.tmp] behind to confuse a later
+   recovery's accounting.  Failures are surfaced on the metrics
+   registry and the event stream: a daemon that silently stops
+   snapshotting replays an ever-growing journal at the next restart. *)
+let try_write_snapshot ~dirname ~lsn payload =
+  match write_snapshot_file ~dirname ~lsn payload with
+  | path -> Ok path
+  | exception ((Unix.Unix_error _ | Sys_error _) as e) ->
+    let tmp = Filename.concat dirname (snapshot_name lsn ^ ".tmp") in
+    (try if Sys.file_exists tmp then Sys.remove tmp
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    let why =
+      match e with
+      | Unix.Unix_error (err, fn, arg) ->
+        Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)
+      | Sys_error msg -> msg
+      | _ -> assert false
+    in
+    Obs.Counter.incr (Lazy.force c_snapshot_failures);
+    Obs.event
+      ~args:(fun () -> [ ("lsn", Obs.Int (Int64.to_int lsn)); ("error", Obs.Str why) ])
+      "durable.snapshot_failure";
+    Error why
+
 let snapshot t =
   if t.closed then invalid_arg "Durable.snapshot: closed";
   commit_group t;
@@ -656,25 +695,45 @@ let snapshot t =
       if t.cfg.fsync <> Never || t.synced < t.offset then do_fsync t;
       let lsn = last_lsn t in
       let meta = meta_of_engine ~backend:(Database.backend db) engine in
-      ignore (write_snapshot_file ~dirname:t.cfg.dir ~lsn (encode_snapshot ~meta ~db ~engine));
-      close_out_noerr t.oc;
-      let path, oc = open_segment ~dir:t.cfg.dir ~first_lsn:t.next_lsn in
-      t.seg_path <- path;
-      t.oc <- oc;
-      t.offset <- segment_header_len;
-      t.synced <- segment_header_len;
-      t.groups_since_sync <- 0;
-      t.groups_since_snapshot <- 0;
-      prune ~keep:2 t.cfg.dir;
-      if Obs.metrics_on () then Obs.Counter.incr (Lazy.force c_snapshots)
+      match
+        try_write_snapshot ~dirname:t.cfg.dir ~lsn
+          (encode_snapshot ~meta ~db ~engine)
+      with
+      | Error why ->
+        (* The snapshot never made it to disk, so the journal it was to
+           supersede stays the only durable copy: keep appending to the
+           current segment and prune NOTHING.  Resetting the cadence
+           counter turns the periodic trigger into a retry after
+           another full interval instead of an O(store) encode on every
+           subsequent group. *)
+        t.groups_since_snapshot <- 0;
+        Error why
+      | Ok _path ->
+        close_out_noerr t.oc;
+        let path, oc = open_segment ~dir:t.cfg.dir ~first_lsn:t.next_lsn in
+        t.seg_path <- path;
+        t.oc <- oc;
+        t.offset <- segment_header_len;
+        t.synced <- segment_header_len;
+        t.groups_since_sync <- 0;
+        t.groups_since_snapshot <- 0;
+        prune ~keep:2 t.cfg.dir;
+        if Obs.metrics_on () then Obs.Counter.incr (Lazy.force c_snapshots);
+        Ok ()
     end
-  | _ -> ()
+    else Ok ()
+  | _ -> Ok ()
 
 let maybe_snapshot t =
   if
     t.cfg.snapshot_every > 0
     && t.groups_since_snapshot >= t.cfg.snapshot_every
-  then snapshot t
+  then
+    (* A failed periodic snapshot has no caller to report to; it is
+       already surfaced (counter + event) and the journal remains
+       authoritative, so the session carries on and retries after the
+       next interval. *)
+    match snapshot t with Ok () | Error _ -> ()
 
 (* ------------------------- Journal binding ------------------------- *)
 
@@ -682,6 +741,7 @@ let op_tag = function
   | Online.Journal.Submit_op -> 0
   | Online.Journal.Submit_all_op -> 1
   | Online.Journal.Flush_op -> 2
+  | Online.Journal.Withdraw_op -> 3
 
 let journal_sink t : Online.Journal.sink = function
   | Online.Journal.Submitted { id; query } ->
@@ -698,7 +758,10 @@ let journal_sink t : Online.Journal.sink = function
   | Online.Journal.Op_end { op; fired } ->
     if t.group <> [] then begin
       (match op with
-      | Online.Journal.Submit_op -> ()
+      (* A submit's or withdraw's group is self-delimiting (one effect,
+         at most one eviction); only the batched operations need an
+         explicit fired-count trailer. *)
+      | Online.Journal.Submit_op | Online.Journal.Withdraw_op -> ()
       | Online.Journal.Submit_all_op | Online.Journal.Flush_op ->
         buffer_record t (Commit { op = op_tag op; fired }));
       commit_group t;
@@ -805,6 +868,7 @@ type recovery_report = {
   truncation : truncation option;
   segments_dropped : string list;
   tmp_cleaned : string list;
+  checkpoint_failed : string option;
 }
 
 let pp_report ppf r =
@@ -831,7 +895,11 @@ let pp_report ppf r =
     r.segments_dropped;
   List.iter
     (fun s -> fprintf ppf "stale tmp removed: %s@." (Filename.basename s))
-    r.tmp_cleaned
+    r.tmp_cleaned;
+  match r.checkpoint_failed with
+  | None -> ()
+  | Some why ->
+    fprintf ppf "checkpoint snapshot failed: %s (journal retained)@." why
 
 (* Scan one segment, calling [apply] for each complete committed group
    as [(lsn, record) list].  Returns [Ok ()] on a clean end-of-file or
@@ -1048,7 +1116,17 @@ let recover ?(mode = Online.Incremental) cfg =
             | Create_table { name; attrs } ->
               ignore (Database.create_table' db name attrs));
             Ok ()
-          with _ -> Error Bad_payload))
+          with
+          (* Only the exception families a malformed-but-checksummed
+             payload can legitimately raise: parse errors, restore_*
+             precondition violations (duplicate/unknown ids), and
+             decoder [Failure]s.  Anything else — Out_of_memory,
+             Stack_overflow, Assert_failure — is not evidence of a bad
+             record and must not be laundered into [Bad_payload]
+             truncation; re-raise it. *)
+          | Parser.Syntax_error _ | Invalid_argument _ | Not_found
+          | Failure _ ->
+            Error Bad_payload))
     in
     let apply_group group =
       (* Snapshots land on group boundaries, so a group is either fully
@@ -1099,7 +1177,8 @@ let recover ?(mode = Online.Incremental) cfg =
                   t_segment = path;
                   valid_bytes = 0;
                   dropped_bytes =
-                    (try (Unix.stat path).Unix.st_size with _ -> 0);
+                    (try (Unix.stat path).Unix.st_size
+                     with Unix.Unix_error _ -> 0);
                   reason = Bad_lsn;
                 }
           end
@@ -1169,44 +1248,64 @@ let recover ?(mode = Online.Incremental) cfg =
          in place, so a crash during this checkpoint recovers again
          from the same inputs. *)
       let lsn = !last_applied in
-      ignore
-        (write_snapshot_file ~dirname:cfg.dir ~lsn
-           (encode_snapshot ~meta ~db ~engine));
-      let next = Int64.add lsn 1L in
-      let path, oc = open_segment ~dir:cfg.dir ~first_lsn:next in
-      let t =
-        {
-          cfg;
-          oc;
-          seg_path = path;
-          next_lsn = next;
-          offset = segment_header_len;
-          synced = segment_header_len;
-          group = [];
-          groups_since_sync = 0;
-          groups_since_snapshot = 0;
-          engine = None;
-          db = None;
-          closed = false;
-        }
+      let checkpoint =
+        try_write_snapshot ~dirname:cfg.dir ~lsn
+          (encode_snapshot ~meta ~db ~engine)
       in
-      prune ~keep:1 cfg.dir;
-      attach t db engine;
-      let report =
-        {
-          snapshot_loaded =
-            Option.map (fun (n, l, _) -> (n, l)) snapshot_pick;
-          snapshots_skipped;
-          segments_scanned = !segments_scanned;
-          records_replayed = !records_replayed;
-          groups_replayed = !groups_replayed;
-          recovered_lsn = lsn;
-          truncation = !truncation;
-          segments_dropped = List.rev !segments_dropped;
-          tmp_cleaned;
-        }
-      in
-      Result.Ok (t, db, engine, report)
+      (match (checkpoint, (!truncation, !segments_dropped)) with
+      | Error why, ((Some _, _) | (_, _ :: _)) ->
+        (* The checkpoint could not quarantine the torn/dropped bytes.
+           Appending a fresh segment anyway would put new committed
+           groups behind bytes the NEXT recovery truncates away, so a
+           later crash would silently lose them.  Refuse. *)
+        Result.Error
+          (Printf.sprintf
+             "%s: recovery needs a checkpoint to quarantine a corrupt \
+              tail, but the snapshot write failed: %s"
+             cfg.dir why)
+      | (Ok _ | Error _), _ ->
+        let next = Int64.add lsn 1L in
+        let path, oc = open_segment ~dir:cfg.dir ~first_lsn:next in
+        let t =
+          {
+            cfg;
+            oc;
+            seg_path = path;
+            next_lsn = next;
+            offset = segment_header_len;
+            synced = segment_header_len;
+            group = [];
+            groups_since_sync = 0;
+            groups_since_snapshot = 0;
+            engine = None;
+            db = None;
+            closed = false;
+          }
+        in
+        (* A failed (but tolerable — clean tail) checkpoint leaves the
+           old snapshot + segments as the only durable copy of the
+           replayed prefix: they must survive, so skip the prune. *)
+        (match checkpoint with
+        | Ok _ -> prune ~keep:1 cfg.dir
+        | Error _ -> ());
+        attach t db engine;
+        let report =
+          {
+            snapshot_loaded =
+              Option.map (fun (n, l, _) -> (n, l)) snapshot_pick;
+            snapshots_skipped;
+            segments_scanned = !segments_scanned;
+            records_replayed = !records_replayed;
+            groups_replayed = !groups_replayed;
+            recovered_lsn = lsn;
+            truncation = !truncation;
+            segments_dropped = List.rev !segments_dropped;
+            tmp_cleaned;
+            checkpoint_failed =
+              (match checkpoint with Ok _ -> None | Error why -> Some why);
+          }
+        in
+        Result.Ok (t, db, engine, report))
   end
 
 let open_or_recover ?selection ?eager ?consume ?mode ?backend cfg =

@@ -94,9 +94,15 @@ val close : t -> unit
 (** Flush, fsync (unless the policy is [Never]) and close the current
     segment, detaching the journal sink.  Idempotent. *)
 
-val snapshot : t -> unit
+val snapshot : t -> (unit, string) result
 (** Force a snapshot + segment rotation + prune now (the same protocol
-    periodic snapshots use). *)
+    periodic snapshots use).  [Error why] when the snapshot file could
+    not be written (full disk, permissions): the failure is counted on
+    [wal.snapshot_failures] and emitted as a [durable.snapshot_failure]
+    event, the current segment keeps growing, and {e nothing is
+    pruned} — the journal the snapshot would have superseded remains
+    the only durable copy, so recovery still replays it.  Periodic
+    snapshots retry after another [snapshot_every] interval. *)
 
 val journal_insert : t -> string -> Value.t list -> unit
 (** Journal an external tuple insert (e.g. a repl [fact] statement) as
@@ -162,6 +168,13 @@ type recovery_report = {
       (** segments after a truncation, discarded whole *)
   tmp_cleaned : string list;
       (** leftover [.tmp] files from an interrupted snapshot *)
+  checkpoint_failed : string option;
+      (** [Some why] when the post-recovery checkpoint snapshot could
+          not be written.  Recovery still succeeds when the tail was
+          clean — the pre-existing snapshot and segments are retained
+          (no prune) and stay authoritative — but fails with [Error _]
+          when a truncation needed quarantining, since appending behind
+          un-quarantined torn bytes would lose future groups. *)
 }
 
 val pp_report : Format.formatter -> recovery_report -> unit
@@ -192,6 +205,12 @@ val open_or_recover :
     {!create_engine}. *)
 
 (** {1 Wire-format internals, exposed for tests} *)
+
+val inject_snapshot_failure : exn option -> unit
+(** Test-only: make the next snapshot writes raise [e] (e.g. a
+    [Unix.Unix_error (EACCES, _, _)]) instead of touching the
+    filesystem, simulating a full disk or permission failure the test
+    harness cannot provoke for real.  [None] clears the fault. *)
 
 module Crc32 : sig
   val string : string -> int

@@ -1,0 +1,168 @@
+(** Coordination as a service: a long-lived socket server multiplexing
+    many client sessions onto one {!Coordination.Online} engine, with
+    the {!Durable} WAL underneath when durability is requested.
+
+    The Enmeshed Queries system (Chen et al.) is the production shape
+    this reproduces: clients submit coordination requests over a wire
+    and receive asynchronous match notifications when a set fires.
+    Multiplexing independent sessions onto one engine is justified by
+    coordination avoidance — only graph-linked work must serialize, and
+    the engine already serializes exactly that.
+
+    {2 Wire protocol}
+
+    Frames are 4-byte big-endian length prefixes followed by one JSON
+    object ({!Json}).  Requests carry ["op"] and an optional ["id"]
+    echoed verbatim in the response:
+
+    - [{"id":1,"op":"submit","query":"q1 { ... }"}] — parse and submit
+      one entangled query statement.  Responses: [result]
+      ["coordinated"] (with the fired set), ["pending"] (with the
+      assigned ["pool_id"]), or ["rejected_unsafe"].  When the pending
+      pool is at [max_pending] the typed failure
+      [{"ok":false,"error":"overloaded"}] is returned instead of
+      queueing unboundedly.
+    - [{"op":"retire","pool_id":7}] — withdraw a pending submission
+      ({!Coordination.Online.withdraw}).
+    - [{"op":"flush"}] — evaluate pending components.
+    - [{"op":"status"}] — engine counters, live sessions, WAL position.
+    - [{"op":"subscribe"}] — opt into asynchronous notification frames:
+      [{"notify":"matched","queries":[...]}] after any set fires and
+      [{"notify":"degraded","reason":...}] when an evaluation hit an
+      armed {!Resilient} guard limit.
+    - [{"op":"insert","rel":"F","tuple":[1,"Zurich"]}] and
+      [{"op":"create_table","name":"F","attrs":["fid","dest"]}] — store
+      mutations, journaled like repl [fact]/[table] statements.
+
+    Malformed JSON, unknown ops and bad arguments get
+    [{"ok":false,"error":...}] responses; framing stays intact, the
+    session survives.  Oversized frames and clients that stop draining
+    their socket are abnormal disconnects: the session is torn down
+    (flight-recorder incident, resources released), others continue.
+
+    {2 Threading model}
+
+    The server is a single-threaded [select] loop.  {!step} runs one
+    round (accept, read, dispatch, write) and is public so tests and
+    benchmarks can drive a server and in-process clients
+    deterministically from one thread; {!run} loops {!step}.  Sessions
+    are processed in session-id order, so a given arrival order always
+    produces the same engine-operation order — the property the
+    differential suite leans on. *)
+
+(** Minimal JSON: parser and printer for the frame payloads (the repo
+    deliberately has no JSON dependency). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val to_string : t -> string
+
+  val mem : string -> t -> t option
+  (** Field lookup on an [Obj]; [None] on anything else. *)
+
+  val str_mem : string -> t -> string option
+  val int_mem : string -> t -> int option
+end
+
+type listen =
+  | Unix_socket of string  (** path; unlinked on {!stop} *)
+  | Tcp of string * int    (** host, port; port [0] binds ephemeral *)
+
+type config = {
+  listen : listen;
+  max_pending : int;
+      (** admission control: submissions arriving with this many
+          entries already pending are refused with an [overloaded]
+          frame instead of growing the pool unboundedly *)
+  max_sessions : int;
+      (** stop after this many sessions have disconnected ([0] = serve
+          forever) — scripted tests and cram sessions use this to
+          terminate deterministically *)
+  max_frame : int;  (** largest accepted frame payload, bytes *)
+  max_buffered : int;
+      (** per-session outbound backlog cap: a client that stops
+          reading is disconnected, not buffered forever *)
+  verbose : bool;  (** print session lifecycle lines to stdout *)
+}
+
+val default_config : listen -> config
+(** [max_pending 1024], [max_sessions 0], [max_frame 1 MiB],
+    [max_buffered 4 MiB], quiet. *)
+
+(** What the server serves: one engine, its database, optionally the
+    WAL handle journaling it and a {!Resilient} guard armed on the
+    database ({!Resilient.start_solve} is called per request). *)
+type binding = {
+  db : Relational.Database.t;
+  engine : Coordination.Online.t;
+  durable : Durable.t option;
+  guard : Resilient.t option;
+}
+
+type t
+
+val create : config -> binding -> t
+(** Bind and listen.  Ignores [SIGPIPE] process-wide (a disconnecting
+    client must surface as [EPIPE] on that session's writes, never as a
+    process-killing signal).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val step : ?timeout:float -> t -> bool
+(** One event-loop round, blocking in [select] at most [timeout]
+    seconds (default 0.05).  Returns [false] once the server stopped —
+    {!stop} was called or [max_sessions] sessions have come and gone
+    (the listener closes as soon as that many sessions have been
+    accepted). *)
+
+val run : t -> unit
+(** Loop {!step} until it returns [false]. *)
+
+val stop : t -> unit
+(** Close every session and the listener (unlinking a Unix-socket
+    path).  Does NOT close the binding's [durable] handle — the caller
+    owns it; tests simulate a crash by stopping the server and
+    recovering the WAL directory without a clean {!Durable.close}. *)
+
+val port : t -> int
+(** The actually-bound TCP port (useful with [Tcp (_, 0)]).
+    @raise Invalid_argument on a Unix-socket server. *)
+
+val live_sessions : t -> int
+
+val sessions_served : t -> int
+(** Sessions accepted over the server's lifetime (live ones included). *)
+
+(** A blocking client for the frame protocol — the CLI [client]
+    subcommand, the cram scripts and the bench harness all speak
+    through this. *)
+module Client : sig
+  type conn
+
+  val connect : ?retries:int -> listen -> conn
+  (** Retries [ECONNREFUSED]/[ENOENT] with a 50 ms pause, [retries]
+      times (default 40 — two seconds for a server still starting). *)
+
+  val send : conn -> Json.t -> unit
+  val recv : ?timeout:float -> conn -> Json.t option
+  (** Next frame, blocking up to [timeout] seconds (default 5).
+      [None] on timeout or EOF. *)
+
+  val try_recv : conn -> Json.t option
+  (** Non-blocking: a frame if one is already buffered/readable.  Used
+      by in-process tests that interleave {!step} calls with client
+      reads on one thread. *)
+
+  val close : conn -> unit
+
+  val abort : conn -> unit
+  (** Close abruptly with pending data unread and linger zeroed where
+      possible — the mid-stream client death the SIGPIPE tests need. *)
+end

@@ -533,3 +533,83 @@ recovery is clean.
   
   engine: 0 pending, 0 coordinated (lifetime)
   database: 1 relations, 1 tuples
+
+Coordination as a service.  A server needs exactly one listen address
+and sane limits; refusals are loud and early.
+
+  $ entangle serve
+  error: one of --socket PATH or --port N is required
+  [2]
+  $ entangle serve --socket coord.sock --port 7070
+  error: --socket and --port are mutually exclusive
+  [2]
+  $ entangle serve --socket coord.sock --max-pending 0
+  entangle: option '--max-pending': expected a positive integer, got 0
+  Usage: entangle serve [OPTION]…
+  Try 'entangle serve --help' or 'entangle --help' for more information.
+  [124]
+
+A scripted session over a Unix socket, journaled to a WAL.  The first
+client builds the Figure-1-in-miniature state: a flights table, one
+Zurich flight, and two queries that want to travel together.  The
+client is subscribed, so the matched notification arrives before the
+coordinated response — the deterministic frame order the protocol
+promises.
+
+  $ entangle serve --socket coord.sock --max-sessions 2 --verbose --wal srvwal > server.log 2>&1 &
+  $ entangle client --socket coord.sock <<'EOF2'
+  > {"id":1,"op":"create_table","name":"F","attrs":["fid","dest"]}
+  > {"id":2,"op":"insert","rel":"F","tuple":[101,"Zurich"]}
+  > {"id":3,"op":"subscribe"}
+  > {"id":4,"op":"submit","query":"qa: { R(G1, y) } R(G0, x) :- F(x, Zurich)."}
+  > {"id":5,"op":"submit","query":"qb: { R(G0, y) } R(G1, x) :- F(x, Zurich)."}
+  > EOF2
+  {"id":1,"ok":true,"result":"table_created"}
+  {"id":2,"ok":true,"result":"inserted"}
+  {"id":3,"ok":true,"result":"subscribed"}
+  {"id":4,"ok":true,"result":"pending","pool_id":0}
+  {"notify":"matched","queries":["qa","qb"]}
+  {"id":5,"ok":true,"result":"coordinated","queries":["qa","qb"]}
+
+The second client dies mid-stream — request sent, nothing read, RST on
+the wire.  The server tears down that one session (the reason lands in
+the verbose log below) and exits cleanly at its session budget.
+
+  $ entangle client --socket coord.sock --abort-after 1 <<'EOF2'
+  > {"id":1,"op":"status"}
+  > EOF2
+  client: aborted after 1 requests
+  $ wait
+
+The exact errno depends on whether the server was reading or writing
+when the RST landed, so the log normalises it to "abnormal"; what
+matters is that session 2's death is flagged and session 1's was not.
+
+  $ sed 's/closed (.*)$/closed (abnormal)/' server.log
+  wal: new journal in srvwal
+  serving on unix:coord.sock
+  session 1: connected
+  session 1: closed
+  session 2: connected
+  session 2: closed (abnormal)
+  served 2 sessions; 2 coordinated, 0 still pending
+
+Kill-and-restart: a new server on the same WAL directory recovers the
+journal first, so the next submission draws the next pool id after the
+two recovered queries — identical state, new process.
+
+  $ entangle serve --socket coord.sock --max-sessions 1 --wal srvwal > server2.log 2>&1 &
+  $ entangle client --socket coord.sock <<'EOF2'
+  > {"id":1,"op":"submit","query":"qc: { R(G3, y) } R(G2, x) :- F(x, Zurich)."}
+  > EOF2
+  {"id":1,"ok":true,"result":"pending","pool_id":2}
+  $ wait
+  $ cat server2.log
+  snapshot: none
+  segments scanned: 1
+  records replayed: 6 (5 committed groups)
+  recovered lsn: 6
+  tail: clean
+  
+  serving on unix:coord.sock
+  served 1 sessions; 2 coordinated, 1 still pending

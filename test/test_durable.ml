@@ -454,7 +454,10 @@ let test_snapshot_fallback () =
     (fun i op ->
       apply_op ~wal db engine op;
       apply_op rdb rengine op;
-      if i = 4 || i = 9 then Durable.snapshot wal)
+      if i = 4 || i = 9 then
+        match Durable.snapshot wal with
+        | Ok () -> ()
+        | Error why -> Alcotest.failf "snapshot failed: %s" why)
     trace;
   Durable.close wal;
   let snaps =
@@ -475,6 +478,150 @@ let test_snapshot_fallback () =
     (report.Durable.snapshot_loaded <> None);
   Alcotest.check obs_t "state == reference" (observe rdb rengine)
     (observe rdb' rengine');
+  Durable.close t;
+  rm_rf dir
+
+(* ---------------- snapshot-write failure injection ---------------- *)
+
+let eacces = Unix.Unix_error (Unix.EACCES, "open", "snap")
+let sorted_files dir = Sys.readdir dir |> Array.to_list |> List.sort String.compare
+
+(* A failed snapshot write (full disk, EACCES) must surface as [Error],
+   must not rotate the segment, and must not prune the journal it
+   failed to supersede — recovery then replays the retained segments
+   as if the snapshot was never attempted. *)
+let test_snapshot_failure_retains_journal () =
+  let dir = fresh_dir "snap-fail" in
+  let trace = gen_trace (Prng.create chaos_seed) 12 in
+  let wal, db, engine =
+    Durable.create_engine ~eager:true ~consume:true
+      (Durable.config ~fsync:Durable.Always ~snapshot_every:0 dir)
+  in
+  seed_store ~wal db;
+  let rdb, rengine =
+    mk_reference ~backend:Database.Row ~eager:true ~consume:true
+  in
+  let run ops =
+    List.iter
+      (fun op ->
+        apply_op ~wal db engine op;
+        apply_op rdb rengine op)
+      ops
+  in
+  run (List.filteri (fun i _ -> i < 6) trace);
+  (match Durable.snapshot wal with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "healthy snapshot failed: %s" why);
+  let seg_after_good = Durable.current_segment wal in
+  run (List.filteri (fun i _ -> i >= 6) trace);
+  let before = sorted_files dir in
+  Durable.inject_snapshot_failure (Some eacces);
+  (match Durable.snapshot wal with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "injected snapshot failure must surface as Error");
+  Durable.inject_snapshot_failure None;
+  Alcotest.(check (list string))
+    "no rotation, no prune, no partial file" before (sorted_files dir);
+  Alcotest.(check string)
+    "segment unrotated" seg_after_good
+    (Durable.current_segment wal);
+  (* The session keeps journaling; recovery replays the retained
+     segments exactly. *)
+  run (gen_trace (Prng.create (chaos_seed + 3)) 4);
+  Durable.close wal;
+  let t, rdb', rengine', report = recover_exn ~ctx:"snap-fail" dir in
+  Alcotest.(check bool)
+    "clean tail" true
+    (report.Durable.truncation = None);
+  Alcotest.check obs_t "recovered == reference" (observe rdb rengine)
+    (observe rdb' rengine');
+  Durable.close t;
+  rm_rf dir
+
+(* Recovery's own checkpoint snapshot failing must not lose state: with
+   a clean tail recovery succeeds, reports the failure, and prunes
+   nothing — the pre-existing files stay authoritative for the retry. *)
+let test_checkpoint_failure_clean_tail () =
+  let dir = fresh_dir "ckpt-fail" in
+  let _, _, _, _, _, state2 = setup_cycle dir in
+  let before = sorted_files dir in
+  Durable.inject_snapshot_failure (Some eacces);
+  let t, rdb, rengine, report = recover_exn ~ctx:"ckpt-clean" dir in
+  Durable.inject_snapshot_failure None;
+  (match report.Durable.checkpoint_failed with
+  | Some _ -> ()
+  | None -> Alcotest.fail "checkpoint failure must be reported");
+  Alcotest.check obs_t "clean-tail recovery state intact" state2
+    (observe rdb rengine);
+  let after = sorted_files dir in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " retained") true (List.mem f after))
+    before;
+  Durable.close t;
+  (* The fault cleared, the same directory checkpoints normally. *)
+  let t2, rdb2, rengine2, report2 = recover_exn ~ctx:"ckpt-retry" dir in
+  Alcotest.(check bool)
+    "retry checkpoint succeeds" true
+    (report2.Durable.checkpoint_failed = None);
+  Alcotest.check obs_t "retry state stable" state2 (observe rdb2 rengine2);
+  Durable.close t2;
+  rm_rf dir
+
+(* With a torn tail the checkpoint is what quarantines the corrupt
+   bytes; if it cannot be written, recovery must refuse rather than
+   append new groups behind bytes a later recovery will truncate. *)
+let test_checkpoint_failure_torn_tail () =
+  let dir = fresh_dir "ckpt-torn" in
+  let seg, _, b1, b2, _, _ = setup_cycle dir in
+  Resilient.Disk_fault.apply ~path:seg
+    (Resilient.Disk_fault.Bit_flip { offset = (b1 + b2) / 2; mask = 0x10 });
+  Durable.inject_snapshot_failure (Some eacces);
+  (match Durable.recover (Durable.config dir) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "torn tail + failed checkpoint must refuse");
+  Durable.inject_snapshot_failure None;
+  let t, _, _, report = recover_exn ~ctx:"ckpt-torn-retry" dir in
+  Alcotest.(check bool)
+    "truncation quarantined on retry" true
+    (report.Durable.truncation <> None);
+  Durable.close t;
+  rm_rf dir
+
+(* Online.withdraw: a pending entry leaves the pool unsatisfied, double
+   or unknown withdrawal is a polite [false], and the journaled
+   eviction replays. *)
+let test_withdraw_durable () =
+  let dir = fresh_dir "withdraw" in
+  let wal, db, engine =
+    Durable.create_engine ~eager:true
+      (Durable.config ~fsync:Durable.Always ~snapshot_every:0 dir)
+  in
+  seed_store ~wal db;
+  let q1, q2 = cycle_pair () in
+  let id1 = Online.next_id engine in
+  (match Online.submit engine q1 with
+  | Online.Pending -> ()
+  | _ -> Alcotest.fail "q1 should pend");
+  Alcotest.(check bool) "withdraw live id" true (Online.withdraw engine id1);
+  Alcotest.(check bool)
+    "withdraw again is false" false
+    (Online.withdraw engine id1);
+  Alcotest.(check bool)
+    "withdraw unknown id is false" false
+    (Online.withdraw engine 999);
+  Alcotest.(check int) "pool empty" 0 (Online.pending_count engine);
+  (match Online.submit engine q2 with
+  | Online.Pending -> ()
+  | _ -> Alcotest.fail "q2 must pend once q1 is withdrawn");
+  Alcotest.(check int) "nothing fired" 0 (Online.total_coordinated engine);
+  let live = observe db engine in
+  Durable.close wal;
+  let t, rdb', rengine', report = recover_exn ~ctx:"withdraw" dir in
+  Alcotest.(check bool)
+    "clean tail" true
+    (report.Durable.truncation = None);
+  Alcotest.check obs_t "withdrawal replayed" live (observe rdb' rengine');
   Durable.close t;
   rm_rf dir
 
@@ -609,6 +756,14 @@ let suite =
     Alcotest.test_case "bit flip fails the checksum" `Quick test_bad_crc;
     Alcotest.test_case "corrupt snapshot falls back to the previous one"
       `Quick test_snapshot_fallback;
+    Alcotest.test_case "failed snapshot surfaces and retains the journal"
+      `Quick test_snapshot_failure_retains_journal;
+    Alcotest.test_case "failed recovery checkpoint keeps old files (clean tail)"
+      `Quick test_checkpoint_failure_clean_tail;
+    Alcotest.test_case "failed recovery checkpoint refuses on a torn tail"
+      `Quick test_checkpoint_failure_torn_tail;
+    Alcotest.test_case "withdraw retires nothing and replays" `Quick
+      test_withdraw_durable;
     Alcotest.test_case "interrupted snapshot tmp is cleaned" `Quick
       test_tmp_cleanup;
   ]

@@ -18,5 +18,6 @@ let () =
       ("obs", Test_obs.suite);
       ("resilient", Test_resilient.suite);
       ("durable", Test_durable.suite);
+      ("server", Test_server.suite);
       ("executor", Test_executor.suite);
     ]
