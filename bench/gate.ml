@@ -233,21 +233,29 @@ let column_median series name =
 type rule =
   | Timing of float  (* noise floor in the column's own unit *)
   | Speedup          (* fresh median must stay above the absolute floor *)
+  | Sharded_speedup  (* fresh median must stay above the sharded floor *)
   | Alloc            (* fresh median must stay within slack of baseline *)
   | Overhead         (* fresh median must stay below the absolute cap *)
   | Wal_overhead     (* fresh median must stay below the WAL cap *)
   | Service_overhead (* fresh median must stay below the service cap *)
 
 (* Sub-noise-floor medians are skipped: a 25% "regression" of 40
-   microseconds is scheduler jitter, not a slowdown. *)
+   microseconds is scheduler jitter, not a slowdown.  The
+   sharded_submit_speedup test must run before the generic _speedup
+   suffix it also matches: the online engine's 4-domain throughput
+   ratio has its own floor (--sharded-speedup-floor, default 2.5) —
+   a whole-engine flush pipeline cannot match the storage engine's
+   3x bar on a single core, but it must beat 2.5x or sharding is not
+   pulling its weight. *)
 let rule_of_column name =
-  let suffixed s = String.length name > String.length s
+  let suffixed s = String.length name >= String.length s
     && String.sub name (String.length name - String.length s) (String.length s) = s
   in
   if suffixed "minor_words_per_probe" then Some Alloc
   else if suffixed "service_overhead_x" then Some Service_overhead
   else if suffixed "wal_overhead_x" then Some Wal_overhead
   else if suffixed "overhead_ratio" then Some Overhead
+  else if suffixed "sharded_submit_speedup" then Some Sharded_speedup
   else if suffixed "_speedup" then Some Speedup
   else if suffixed "_ms" then Some (Timing 1.0)
   else if suffixed "_us" then Some (Timing 1000.0)
@@ -259,6 +267,7 @@ let () =
   let fresh_path = ref "" in
   let tolerance = ref 0.25 in
   let speedup_floor = ref 3.0 in
+  let sharded_speedup_floor = ref 2.5 in
   let alloc_slack = ref 0.5 in
   let overhead_cap = ref 1.05 in
   let wal_overhead_cap = ref 3.0 in
@@ -271,6 +280,9 @@ let () =
        "T  fail when median(fresh) > median(baseline) * (1+T)  (default 0.25)");
       ("--speedup-floor", Arg.Set_float speedup_floor,
        "S  fail when a *_speedup median drops below S  (default 3.0)");
+      ("--sharded-speedup-floor", Arg.Set_float sharded_speedup_floor,
+       "S  fail when a *sharded_submit_speedup median drops below S \
+        (default 2.5)");
       ("--alloc-slack", Arg.Set_float alloc_slack,
        "W  fail when a *minor_words_per_probe median exceeds baseline + W \
         words  (default 0.5)");
@@ -339,6 +351,19 @@ let () =
                         "%s.%s speedup %.2fx is below the %.1fx floor \
                          (baseline %.2fx)"
                         name col f !speedup_floor b
+                      :: !failures
+                | Sharded_speedup ->
+                  incr checked;
+                  Printf.printf
+                    "  %-32s %-30s base %12.2fx fresh %12.2fx (floor %.1fx)\n"
+                    name col b f !sharded_speedup_floor;
+                  if f < !sharded_speedup_floor then
+                    failures :=
+                      Printf.sprintf
+                        "%s.%s sharded submit speedup %.2fx is below the \
+                         %.1fx floor (baseline %.2fx): the online engine \
+                         is no longer scaling across domains"
+                        name col f !sharded_speedup_floor b
                       :: !failures
                 | Alloc ->
                   incr checked;

@@ -99,6 +99,13 @@ let () =
       | "parallel-scaling" ->
         if fast then Ablations.parallel_scaling ~rows:1_000 ()
         else Ablations.parallel_scaling ()
+      | "online-sharded" ->
+        (* 100k pool even in fast mode: the sharded-throughput gate is
+           only meaningful at the acceptance pool size. *)
+        if fast then
+          Ablations.online_sharded ~rows:1_000 ~pools:[ 100_000 ]
+            ~domain_counts:[ 1; 2; 4 ] ()
+        else Ablations.online_sharded ()
       | "observability" ->
         if fast then Ablations.observability ~rows:5_000 ~n:15 ~repeats:13 ~iters:50 ()
         else Ablations.observability ()

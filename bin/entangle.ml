@@ -1048,6 +1048,16 @@ let serve_cmd =
              serve forever).  Scripted tests use this to terminate \
              deterministically.")
   in
+  let domains =
+    Arg.(
+      value & opt pos_int_conv 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Shard the online engine across $(docv) OCaml domains, routing \
+             arrivals by coordination-graph component.  Observationally \
+             identical to the sequential engine at every domain count; \
+             requires $(b,--mode incremental).")
+  in
   let verbose =
     Arg.(
       value & flag
@@ -1102,9 +1112,13 @@ let serve_cmd =
       & info [ "max-attempts" ] ~docv:"N" ~doc:"Tries per probe.")
   in
   let run socket host port consume mode backend wal fsync snapshot_every
-      max_pending max_sessions verbose flight_recorder metrics deadline_ms
-      max_probes max_tuples probe_timeout_ms max_attempts =
+      max_pending max_sessions domains verbose flight_recorder metrics
+      deadline_ms max_probes max_tuples probe_timeout_ms max_attempts =
     let listen = listen_of_flags socket host port in
+    if domains > 1 && mode <> Coordination.Online.Incremental then begin
+      Printf.eprintf "error: --domains requires --mode incremental\n";
+      exit 2
+    end;
     (match flight_recorder with
     | None -> ()
     | Some path ->
@@ -1158,6 +1172,14 @@ let serve_cmd =
         verbose;
       }
     in
+    let engine =
+      if domains = 1 then Server.Sequential engine
+      else
+        Server.Sharded
+          (match durable with
+          | None -> Coordination.Online_sharded.of_online ~domains db engine
+          | Some t -> Server.shard_durable ~domains t db engine)
+    in
     let srv = Server.create cfg { Server.db; engine; durable; guard } in
     (match listen with
     | Server.Unix_socket path -> Printf.printf "serving on unix:%s\n%!" path
@@ -1166,10 +1188,19 @@ let serve_cmd =
     Server.run srv;
     Server.stop srv;
     Option.iter Durable.close durable;
-    Printf.printf "served %d sessions; %d coordinated, %d still pending\n"
+    let coordinated, still_pending =
+      match engine with
+      | Server.Sequential e ->
+        ( Coordination.Online.total_coordinated e,
+          Coordination.Online.pending_count e )
+      | Server.Sharded e ->
+        ( Coordination.Online_sharded.total_coordinated e,
+          Coordination.Online_sharded.pending_count e )
+    in
+    Printf.printf "served %d sessions; %d coordinated, %d still pending%s\n"
       (Server.sessions_served srv)
-      (Coordination.Online.total_coordinated engine)
-      (Coordination.Online.pending_count engine)
+      coordinated still_pending
+      (if domains > 1 then Printf.sprintf " (domains=%d)" domains else "")
   in
   let doc =
     "Coordination as a service: a long-lived socket server multiplexing \
@@ -1184,8 +1215,9 @@ let serve_cmd =
     Cmdliner.Term.(
       const run $ socket_arg $ host_arg $ port_arg $ consume $ mode
       $ backend_arg $ wal $ fsync $ snapshot_every $ max_pending
-      $ max_sessions $ verbose $ flight_recorder $ metrics $ deadline_ms
-      $ max_probes $ max_tuples $ probe_timeout_ms $ max_attempts)
+      $ max_sessions $ domains $ verbose $ flight_recorder $ metrics
+      $ deadline_ms $ max_probes $ max_tuples $ probe_timeout_ms
+      $ max_attempts)
 
 (* ------------------------------ client ----------------------------- *)
 

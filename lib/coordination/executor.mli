@@ -65,6 +65,14 @@ module Pool : sig
       whatever the tasks do. *)
 end
 
+val raise_first_crash : ('a, exn) result array -> unit
+(** Surface the first trapped worker exception from a {!Pool.map}
+    result array as {!Worker_crashed}, after recording a
+    flight-recorder incident so every domain's final moments are
+    dumped.  Call it only after the pool has returned — i.e. after
+    every sibling domain was joined — so one shard's crash never
+    leaves another detached.  No-op when every slot is [Ok]. *)
+
 val solve_scc :
   ?selection:Scc_algo.selection ->
   ?preprocess:bool ->

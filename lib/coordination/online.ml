@@ -13,6 +13,14 @@ type submission =
   | Pending
   | Rejected_unsafe of (int * int) list
 
+(* A fired set together with the identity a sharded orchestrator needs
+   to merge per-shard fire streams deterministically: [f_key] is the
+   smallest live member id of the component that was EVALUATED (not of
+   the subset that fired — a remnant can refire under the same key),
+   which is exactly the order both sequential flush modes try
+   components in. *)
+type fired = { f_key : int; f_ids : int list; f_set : coordinated }
+
 type inventory_conflict = {
   double_spent : (string * Tuple.t) list;
   missing : (string * Tuple.t) list;
@@ -244,6 +252,10 @@ let admit engine ~id query =
     Hashtbl.replace engine.entries id e;
     index_entry engine e;
     Graphs.Union_find.ensure engine.uf id;
+    (* A re-attached id (shard migration round-trip) may carry a stale
+       parent pointer from its retirement in this engine; reset makes it
+       a singleton root again.  For a fresh id this is a no-op. *)
+    Graphs.Union_find.reset engine.uf id;
     Hashtbl.replace engine.comp_members id [ id ];
     List.iter (fun p -> union_ids engine id p) partners;
     mark_dirty engine id);
@@ -468,7 +480,14 @@ let evaluate engine ids =
       engine.satisfied <- engine.satisfied + List.length satisfied_queries;
       emit engine (Journal.Retired { ids = member_ids });
       if engine.consume then consume_inventory engine outcome.queries solution;
-      Ok (Some { queries = satisfied_queries; assignment = solution.assignment }))
+      Ok
+        (Some
+           {
+             f_key = List.hd ids;
+             f_ids = member_ids;
+             f_set =
+               { queries = satisfied_queries; assignment = solution.assignment };
+           }))
 
 (* The ids of the component containing [e], ascending. *)
 let component_of engine (e : entry) =
@@ -488,7 +507,7 @@ let component_of engine (e : entry) =
     in
     List.map (fun p -> ids.(p)) positions
 
-let submit engine query =
+let submit ?id engine query =
   Obs.with_span
     ~args:(fun () ->
       [
@@ -498,7 +517,18 @@ let submit engine query =
     "online.submit"
   @@ fun () ->
   begin_op engine;
-  let e = add_entry engine query in
+  let e =
+    match id with
+    | None -> add_entry engine query
+    | Some id ->
+      (* A sharded orchestrator allocates ids globally and forces them
+         here, so per-shard pools share one id space. *)
+      if id < engine.next_id then
+        invalid_arg
+          (Printf.sprintf "Online.submit: forced id %d below next_id %d" id
+             engine.next_id);
+      admit engine ~id query
+  in
   emit engine (Journal.Submitted { id = e.id; query });
   let result =
     if not engine.eager then Pending
@@ -510,7 +540,7 @@ let submit engine query =
         emit engine (Journal.Rejected { id = e.id });
         Rejected_unsafe ws
       | Ok None -> Pending
-      | Ok (Some c) -> Coordinated c
+      | Ok (Some fr) -> Coordinated fr.f_set
   in
   emit engine
     (Journal.Op_end
@@ -698,11 +728,10 @@ let flush_speculative engine k =
             let view = Database.worker_view engine.db in
             Scc_algo.solve ~selection:engine.selection view inputs.(i))
       in
-      Array.iter
-        (function
-          | Error e -> raise (Executor.Worker_crashed (Printexc.to_string e))
-          | Ok _ -> ())
-        verdicts;
+      (* [Pool.map] joined every domain already; surface the first
+         trapped crash through the canonical path (which also dumps a
+         flight-recorder incident) rather than a bare raise. *)
+      Executor.raise_first_crash verdicts;
       let fired_this_round = ref false in
       Array.iteri
         (fun i verdict ->
@@ -755,7 +784,7 @@ let flush ?domains engine =
   emit engine
     (Journal.Op_end { op = Journal.Flush_op; fired = List.length fired });
   sync_db_version engine;
-  fired
+  List.map (fun fr -> fr.f_set) fired
 
 let submit_all engine queries =
   Obs.with_span
@@ -776,7 +805,7 @@ let submit_all engine queries =
   emit engine
     (Journal.Op_end { op = Journal.Submit_all_op; fired = List.length fired });
   sync_db_version engine;
-  fired
+  List.map (fun fr -> fr.f_set) fired
 
 (* Recovery replay (lib/durable).  These re-apply journaled effects to
    a fresh engine without evaluating anything: the journal already says
@@ -810,3 +839,71 @@ let restore_counters engine ~satisfied ~next_id =
     invalid_arg "Online.restore_counters: next_id below an admitted id";
   engine.satisfied <- satisfied;
   engine.next_id <- next_id
+
+(* Orchestrator hooks (lib/coordination/online_sharded).  A sharded
+   engine runs one of these engines per shard and manages the public
+   operation boundary itself: it brackets every operation with
+   [prepare_op]/[finish_op] on every shard, moves whole components
+   between shards with [detach]/[attach], and drives flush rounds
+   through [flush_fired]/[due_components]/[evaluate_due] so it can
+   merge per-shard fire streams into the sequential order.  None of
+   these emit [Journal.Op_end] — the orchestrator owns the commit
+   boundary. *)
+
+let prepare_op = begin_op
+let finish_op = sync_db_version
+let due_components = dirty_components
+let flush_fired engine = flush_core engine
+
+let evaluate_due engine ids =
+  match evaluate engine ids with
+  | Error _ ->
+    (* Cache the unsafe verdict exactly as [flush_incremental] does. *)
+    if engine.mode = Incremental then
+      List.iter (fun id -> Hashtbl.remove engine.dirty id) ids;
+    `Unsafe
+  | Ok None -> `Quiet
+  | Ok (Some fr) -> `Fired fr
+
+type moved = { mv_id : int; mv_query : Query.t; mv_dirty : bool }
+
+let detach engine ids =
+  let ids = List.sort_uniq Int.compare ids in
+  let moved =
+    List.map
+      (fun id ->
+        match Hashtbl.find_opt engine.entries id with
+        | None ->
+          invalid_arg (Printf.sprintf "Online.detach: id %d not live" id)
+        | Some e ->
+          {
+            mv_id = id;
+            mv_query = e.query;
+            mv_dirty = Hashtbl.mem engine.dirty id;
+          })
+      ids
+  in
+  retire engine ids;
+  moved
+
+let attach engine moved =
+  List.iter
+    (fun m ->
+      if Hashtbl.mem engine.entries m.mv_id then
+        invalid_arg
+          (Printf.sprintf "Online.attach: id %d already live" m.mv_id);
+      ignore (admit engine ~id:m.mv_id m.mv_query);
+      (* [admit] marks the new entry dirty; preserve the source shard's
+         verdict instead — migration alone re-evaluates nothing, exactly
+         as the sequential engine would not. *)
+      if not m.mv_dirty then Hashtbl.remove engine.dirty m.mv_id)
+    moved
+
+let mirror_sink engine : Journal.sink = function
+  | Journal.Submitted { id; query } -> restore_submit engine ~id query
+  | Journal.Retired { ids } -> restore_retire engine ids
+  | Journal.Rejected { id } -> restore_evict engine id
+  | Journal.Consumed _ | Journal.Op_end _ ->
+    (* Inventory deletions hit the shared store directly; nothing to
+       mirror.  Op boundaries are the durability layer's concern. *)
+    ()

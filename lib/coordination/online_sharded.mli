@@ -1,0 +1,120 @@
+(** The online engine, sharded by component across OCaml 5 domains.
+
+    Distinct weakly-connected components of the coordination graph
+    never interact — the coordination-avoidance principle that made the
+    batch executor embarrassingly parallel — so the live pool can be
+    partitioned across per-shard incremental engines ({!Online}), each
+    over its own {!Relational.Database.worker_view} of one shared
+    store, and stay {e observationally identical} to one sequential
+    engine.
+
+    {2 Routing and migration}
+
+    Arrivals are routed at the granularity of
+    {!Coordination_graph.Atom_index} buckets (relation symbol ×
+    first-argument constant, wildcard for var-first atoms): two entries
+    can only share a coordination edge when their atoms share a bucket,
+    so a union-find over bucket keys — fusing the buckets that co-occur
+    in one entry — yields {e bucket groups} that are a conservative
+    over-approximation of components.  Each group is owned by exactly
+    one shard.  An arrival whose atoms touch groups owned by two shards
+    triggers a migration: every colliding group's live entries are
+    {!Online.detach}ed from their shard and {!Online.attach}ed — with
+    dirtiness preserved, so migration alone re-evaluates nothing — into
+    the shard already holding the most involved entries (fewest entries
+    move; ties to the lowest shard index).  When a group's last live
+    entry leaves, the group dissolves, so co-location never outlives
+    the entries that caused it.
+
+    {2 Determinism}
+
+    Every public operation is bracketed by {!Online.prepare_op} /
+    {!Online.finish_op} on every shard, reproducing the sequential
+    engine's dirty-tracking semantics exactly (external mutations dirty
+    every pool; the operation's own consume deletions dirty nothing).
+    Non-consume flushes run every shard's sequential flush to fixpoint
+    concurrently and stable-merge the per-shard fire streams by
+    {!Online.fired} key — each stream is non-decreasing in key, so the
+    merge {e is} the sequential fire order.  Consume-mode flushes
+    commit one component at a time in that same canonical order through
+    the owning shard, because inventory deletions couple components
+    through the shared store.  Fired sets, assignments, the pending
+    pool, the satisfied count, the journal record stream and all
+    deterministic {!Stats} counters (folded with {!Stats.merge})
+    therefore equal the sequential engine's at {e every} domain count;
+    the differential suite in [test/test_online_sharded.ml] asserts
+    this per operation.
+
+    Caveats, shared with the batch executor: guard-armed runs split
+    budgets per shard ({!Resilient.split}/[absorb]) rather than
+    spending them in global component order, so {e which} components
+    degrade under a tight budget can differ from the oracle (degraded
+    components stay dirty and converge on a later flush); a worker
+    crash surfaces as {!Executor.Worker_crashed} only after every
+    sibling domain is joined. *)
+
+open Relational
+open Entangled
+
+type t
+
+val create :
+  ?selection:Scc_algo.selection ->
+  ?eager:bool ->
+  ?consume:bool ->
+  ?domains:int ->
+  Database.t ->
+  t
+(** Like {!Online.create} with [mode:Incremental], over [domains]
+    shards (default {!Executor.default_domains}).
+    @raise Invalid_argument if [domains < 1]. *)
+
+val of_online : domains:int -> Database.t -> Online.t -> t
+(** Re-shard a live (typically just-recovered) sequential engine's pool
+    across [domains] shards: every pending entry is routed and attached
+    under its original id, and the id allocator and lifetime satisfied
+    count carry over.  [src] is read, not modified — a durable session
+    keeps it attached as the snapshot mirror (see {!Online.mirror_sink}
+    and [Server.shard_durable]).  The database must be [src]'s. *)
+
+val domains : t -> int
+val consume : t -> bool
+
+val migrations : t -> int
+(** Cross-shard component migrations performed so far (diagnostics). *)
+
+val shard_sizes : t -> int array
+(** Live entries per shard (diagnostics). *)
+
+val submit : t -> Query.t -> Online.submission
+val submit_all : t -> Query.t list -> Online.coordinated list
+val flush : t -> Online.coordinated list
+val withdraw : t -> int -> bool
+val pending : t -> Query.t list
+val pending_entries : t -> (int * Query.t) list
+val next_id : t -> int
+val pending_count : t -> int
+val components : t -> int list list
+val total_coordinated : t -> int
+
+val stats : t -> Stats.t
+(** Per-shard cumulative statistics folded through {!Stats.merge} (the
+    canonical — and only — fold).  All deterministic counters equal the
+    sequential engine's; timing spans are per-shard sums. *)
+
+val last_degradation : t -> Resilient.degradation option
+(** As {!Online.last_degradation}.  Sequentially-committed paths
+    (submit, withdraw, consume-mode flush) report exactly the oracle's
+    degradation; after a parallel flush the reported value is one
+    representative of the shards that degraded this operation. *)
+
+val last_inventory_conflict : t -> Online.inventory_conflict option
+
+val set_journal : t -> Online.Journal.sink option -> unit
+(** Install the journal sink.  The record stream — admissions in
+    arrival order, retirements in the canonical fire order, consume
+    deletions, one {!Online.Journal.Op_end} per public operation — is
+    byte-equivalent to the sequential engine's, so [lib/durable] can
+    log a sharded engine without knowing it is sharded, and a recovery
+    can replay into a sequential engine and re-shard at any domain
+    count. *)

@@ -112,6 +112,13 @@ val journal_insert : t -> string -> Value.t list -> unit
 val journal_create_table : t -> string -> string list -> unit
 (** Journal an external table creation; see {!journal_insert}. *)
 
+val journal_sink : t -> Online.Journal.sink
+(** The WAL's record sink — what {!create_engine}/{!recover} install on
+    the engine they return.  Exposed so an orchestrator that owns the
+    commit boundary itself (a {!Coordination.Online_sharded} engine
+    re-sharding a recovered pool) can tee its byte-equivalent record
+    stream into the same WAL; see [Server.shard_durable]. *)
+
 val dir : t -> string
 
 val current_segment : t -> string

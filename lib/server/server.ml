@@ -16,6 +16,7 @@
 
 open Relational
 module Online = Coordination.Online
+module Online_sharded = Coordination.Online_sharded
 
 (* ------------------------------ JSON ------------------------------ *)
 
@@ -305,12 +306,71 @@ let default_config listen =
     verbose = false;
   }
 
+(* One engine shape per binding; every request dispatches through the
+   eng_* helpers so the protocol layer never cares which.  The sharded
+   engine's operations and journal stream are observationally identical
+   to the sequential one's, so the differential suite can compare a
+   sharded server against a sequential reference verbatim. *)
+type engine =
+  | Sequential of Online.t
+  | Sharded of Online_sharded.t
+
 type binding = {
   db : Database.t;
-  engine : Online.t;
+  engine : engine;
   durable : Durable.t option;
   guard : Resilient.t option;
 }
+
+let eng_submit = function
+  | Sequential e -> Online.submit e
+  | Sharded e -> Online_sharded.submit e
+
+let eng_withdraw = function
+  | Sequential e -> Online.withdraw e
+  | Sharded e -> Online_sharded.withdraw e
+
+let eng_flush = function
+  | Sequential e -> Online.flush e
+  | Sharded e -> Online_sharded.flush e
+
+let eng_pending_count = function
+  | Sequential e -> Online.pending_count e
+  | Sharded e -> Online_sharded.pending_count e
+
+let eng_next_id = function
+  | Sequential e -> Online.next_id e
+  | Sharded e -> Online_sharded.next_id e
+
+let eng_total_coordinated = function
+  | Sequential e -> Online.total_coordinated e
+  | Sharded e -> Online_sharded.total_coordinated e
+
+let eng_last_degradation = function
+  | Sequential e -> Online.last_degradation e
+  | Sharded e -> Online_sharded.last_degradation e
+
+let eng_domains = function
+  | Sequential _ -> 1
+  | Sharded e -> Online_sharded.domains e
+
+(* Re-shard a just-recovered durable engine.  The recovered sequential
+   engine stays attached to the WAL as the snapshot mirror: the sharded
+   engine's record stream is byte-equivalent to a sequential engine's,
+   so teeing each record through Online.mirror_sink (replaying its
+   effect on the mirror, mutating no store state) before the WAL sink
+   keeps the mirror — which Durable snapshots encode — exactly in step
+   with the authoritative sharded pool at every commit boundary. *)
+let shard_durable ~domains durable db mirror =
+  let sharded = Online_sharded.of_online ~domains db mirror in
+  let apply = Online.mirror_sink mirror in
+  let wal = Durable.journal_sink durable in
+  Online_sharded.set_journal sharded
+    (Some
+       (fun record ->
+         apply record;
+         wal record));
+  sharded
 
 type session = {
   sid : int;
@@ -527,7 +587,7 @@ let handle_request t s req =
             ~fields:
               [ ("detail", Json.Str (Printf.sprintf "%d: %s" pos msg)) ]
         | q ->
-          if Online.pending_count t.binding.engine >= t.cfg.max_pending
+          if eng_pending_count t.binding.engine >= t.cfg.max_pending
           then begin
             (* Typed admission-control refusal instead of unbounded
                queueing: the client backs off, the pool stays bounded. *)
@@ -536,15 +596,15 @@ let handle_request t s req =
             err "overloaded"
               ~fields:
                 [
-                  ("pending", Json.Int (Online.pending_count t.binding.engine));
+                  ("pending", Json.Int (eng_pending_count t.binding.engine));
                   ("max_pending", Json.Int t.cfg.max_pending);
                 ]
           end
           else begin
             Option.iter Resilient.start_solve t.binding.guard;
-            let pool_id = Online.next_id t.binding.engine in
-            let r = Online.submit t.binding.engine q in
-            let degraded = Online.last_degradation t.binding.engine in
+            let pool_id = eng_next_id t.binding.engine in
+            let r = eng_submit t.binding.engine q in
+            let degraded = eng_last_degradation t.binding.engine in
             (* Notifications are enqueued BEFORE the response, so a
                subscribed requester reads its own match/degradation
                push frames first and the echoed response last — a
@@ -572,13 +632,13 @@ let handle_request t s req =
           end)
       | "retire" ->
         let pool_id = require Json.int_mem "pool_id" in
-        if Online.withdraw t.binding.engine pool_id then
+        if eng_withdraw t.binding.engine pool_id then
           respond ~ok:true [ ("result", Json.Str "withdrawn") ]
         else err "not_found" ~fields:[ ("pool_id", Json.Int pool_id) ]
       | "flush" ->
         Option.iter Resilient.start_solve t.binding.guard;
-        let fired = Online.flush t.binding.engine in
-        let degraded = Online.last_degradation t.binding.engine in
+        let fired = eng_flush t.binding.engine in
+        let degraded = eng_last_degradation t.binding.engine in
         notify_matched t fired;
         notify_degraded t degraded;
         respond ~ok:true
@@ -600,9 +660,10 @@ let handle_request t s req =
         respond ~ok:true
           [
             ("result", Json.Str "status");
-            ("pending", Json.Int (Online.pending_count t.binding.engine));
-            ("satisfied", Json.Int (Online.total_coordinated t.binding.engine));
-            ("next_id", Json.Int (Online.next_id t.binding.engine));
+            ("pending", Json.Int (eng_pending_count t.binding.engine));
+            ("satisfied", Json.Int (eng_total_coordinated t.binding.engine));
+            ("next_id", Json.Int (eng_next_id t.binding.engine));
+            ("domains", Json.Int (eng_domains t.binding.engine));
             ("sessions", Json.Int (live_sessions t));
             ("served", Json.Int t.accepted);
             ("wal", wal);

@@ -97,15 +97,39 @@ val default_config : listen -> config
 (** [max_pending 1024], [max_sessions 0], [max_frame 1 MiB],
     [max_buffered 4 MiB], quiet. *)
 
+(** The engine a server multiplexes onto: the sequential incremental
+    engine, or the domain-sharded one ({!Coordination.Online_sharded})
+    when [serve --domains N] asked for parallelism.  Both are
+    observationally identical — the protocol layer dispatches blindly;
+    [status] reports ["domains"] ([1] for [Sequential]). *)
+type engine =
+  | Sequential of Coordination.Online.t
+  | Sharded of Coordination.Online_sharded.t
+
 (** What the server serves: one engine, its database, optionally the
     WAL handle journaling it and a {!Resilient} guard armed on the
     database ({!Resilient.start_solve} is called per request). *)
 type binding = {
   db : Relational.Database.t;
-  engine : Coordination.Online.t;
+  engine : engine;
   durable : Durable.t option;
   guard : Resilient.t option;
 }
+
+val shard_durable :
+  domains:int ->
+  Durable.t ->
+  Relational.Database.t ->
+  Coordination.Online.t ->
+  Coordination.Online_sharded.t
+(** [shard_durable ~domains t db engine] re-shards a just-recovered (or
+    just-created) durable engine across [domains] shards.  [engine]
+    stays attached to [t] as the WAL's snapshot mirror; every record
+    the sharded engine journals is applied to the mirror (via
+    {!Coordination.Online.mirror_sink}) and then written to the WAL, so
+    snapshots and recovery see exactly the sharded pool.  A later
+    recovery can re-shard at {e any} domain count — the journal is
+    byte-equivalent to a sequential engine's. *)
 
 type t
 

@@ -1,0 +1,350 @@
+(* The sharded online engine against the sequential oracle.
+
+   The sharded engine partitions the live pool by bucket group across
+   per-shard incremental engines; the sequential incremental engine is
+   the differential oracle.  Equality must be exact at every domain
+   count — pending entries (with ids), component partition, satisfied
+   count, fired sets in order, the final store, and every deterministic
+   stats counter — for any interleaving of submissions, batches,
+   flushes, withdrawals and external inserts, with and without seeded
+   chaos faults.  CI sweeps SHARDED_DOMAINS × CHAOS_SEED; locally the
+   driver sweeps domains 1/2/4 itself. *)
+
+open Relational
+open Entangled
+open Helpers
+module Online = Coordination.Online
+module Sharded = Coordination.Online_sharded
+module Stats = Coordination.Stats
+
+let domain_counts =
+  match
+    int_of_string_opt (try Sys.getenv "SHARDED_DOMAINS" with Not_found -> "")
+  with
+  | Some k when k >= 1 -> [ k ]
+  | Some _ | None -> [ 1; 2; 4 ]
+
+let chaos_seed =
+  match int_of_string_opt (try Sys.getenv "CHAOS_SEED" with Not_found -> "")
+  with
+  | Some s -> s
+  | None -> 42
+
+let chaos_rate =
+  match
+    float_of_string_opt (try Sys.getenv "CHAOS_FAULT_RATE" with Not_found -> "")
+  with
+  | Some r when r >= 0.0 && r < 1.0 -> r
+  | Some _ | None -> 0.3
+
+(* Transient faults with effectively unlimited retries: every probe
+   eventually succeeds, so the chaos run must equal the fault-free one
+   exactly, whatever order the shards issue probes in. *)
+let chaos_config =
+  {
+    Resilient.default_config with
+    max_attempts = 1000;
+    faults =
+      Some
+        {
+          Resilient.fault_defaults with
+          fault_seed = chaos_seed;
+          transient_rate = chaos_rate;
+        };
+  }
+
+(* ------------------------ differential driver --------------------- *)
+
+let dests = [| "Zurich"; "Paris"; "Athens"; "Nowhere" |]
+
+let mk_db () =
+  let db = Database.create () in
+  ignore (Database.create_table' db "F" [ "fid"; "dest" ]);
+  List.iter
+    (fun (f, d) -> Database.insert db "F" [ vi f; vs d ])
+    [ (101, "Zurich"); (102, "Zurich"); (200, "Paris"); (300, "Athens") ];
+  db
+
+(* Constants draw from a 4-value pool so partners, multi-member
+   components, cross-shard collisions (hence migrations) and unsafe
+   postconditions all occur; an occasional var-first postcondition
+   exercises the wildcard bucket routing. *)
+let random_query rng i =
+  let g k = cs (Printf.sprintf "g%d" k) in
+  let post =
+    let roll = Prng.int rng 10 in
+    if roll < 6 then [ atom "R" [ g (Prng.int rng 4); var "y" ] ]
+    else if roll < 7 then [ atom "R" [ var "w"; var "y" ] ]
+    else []
+  in
+  Query.make
+    ~name:(Printf.sprintf "q%d" i)
+    ~post
+    ~head:[ atom "R" [ g (Prng.int rng 4); var "x" ] ]
+    [ atom "F" [ var "x"; cs dests.(Prng.int rng (Array.length dests)) ] ]
+
+let fired_names (c : Online.coordinated) =
+  List.map (fun q -> q.Query.name) c.Online.queries
+
+let submission_repr = function
+  | Online.Coordinated c -> "fired " ^ String.concat "," (fired_names c)
+  | Online.Pending -> "pending"
+  | Online.Rejected_unsafe ws ->
+    "rejected "
+    ^ String.concat ","
+        (List.map (fun (a, b) -> Printf.sprintf "%d/%d" a b) ws)
+
+let entry_repr (id, q) = Printf.sprintf "%d:%s" id q.Query.name
+
+let run_differential ~seed ~domains ~eager ~consume ~chaos =
+  let rng = Prng.create seed in
+  let db_seq = mk_db () and db_sh = mk_db () in
+  let oracle =
+    Online.create ~eager ~consume ~mode:Online.Incremental db_seq
+  in
+  let sharded = Sharded.create ~eager ~consume ~domains db_sh in
+  let guards =
+    if not chaos then []
+    else begin
+      let gs = Resilient.arm chaos_config and gh = Resilient.arm chaos_config in
+      Database.set_guard db_seq (Some gs);
+      Database.set_guard db_sh (Some gh);
+      [ gs; gh ]
+    end
+  in
+  ignore guards;
+  let ctx step m =
+    Printf.sprintf "seed %d domains %d step %d: %s" seed domains step m
+  in
+  let check_sync step =
+    Alcotest.(check (list string))
+      (ctx step "pending")
+      (List.map entry_repr (Online.pending_entries oracle))
+      (List.map entry_repr (Sharded.pending_entries sharded));
+    Alcotest.(check (list (list int)))
+      (ctx step "components")
+      (Online.components oracle)
+      (Sharded.components sharded);
+    Alcotest.(check int) (ctx step "satisfied")
+      (Online.total_coordinated oracle)
+      (Sharded.total_coordinated sharded);
+    Alcotest.(check int) (ctx step "next_id") (Online.next_id oracle)
+      (Sharded.next_id sharded)
+  in
+  let next_fid = ref 1000 in
+  for step = 1 to 50 do
+    let roll = Prng.int rng 12 in
+    if roll < 6 then begin
+      let q = random_query rng step in
+      Alcotest.(check string)
+        (ctx step "submission")
+        (submission_repr (Online.submit oracle q))
+        (submission_repr (Sharded.submit sharded q))
+    end
+    else if roll < 8 then begin
+      let batch = List.init (1 + Prng.int rng 3) (fun j ->
+          random_query rng ((1000 * step) + j))
+      in
+      Alcotest.(check (list (list string)))
+        (ctx step "submit_all")
+        (List.map fired_names (Online.submit_all oracle batch))
+        (List.map fired_names (Sharded.submit_all sharded batch))
+    end
+    else if roll < 9 then
+      Alcotest.(check (list (list string)))
+        (ctx step "flush")
+        (List.map fired_names (Online.flush oracle))
+        (List.map fired_names (Sharded.flush sharded))
+    else if roll < 10 then begin
+      (* Withdraw a live id (ids are allocated identically on both
+         sides), or a dead one — both must agree either way. *)
+      let id =
+        match Online.pending_entries oracle with
+        | [] -> 0
+        | live -> fst (List.nth live (Prng.int rng (List.length live)))
+      in
+      Alcotest.(check bool)
+        (ctx step "withdraw")
+        (Online.withdraw oracle id)
+        (Sharded.withdraw sharded id)
+    end
+    else begin
+      (* An external insert: both stores move, and every shard's cached
+         component verdicts must be dropped, like the oracle's. *)
+      incr next_fid;
+      let dest = dests.(Prng.int rng 3) in
+      Database.insert db_seq "F" [ vi !next_fid; vs dest ];
+      Database.insert db_sh "F" [ vi !next_fid; vs dest ]
+    end;
+    check_sync step
+  done;
+  Alcotest.(check (list (list string)))
+    (ctx 1000 "final flush")
+    (List.map fired_names (Online.flush oracle))
+    (List.map fired_names (Sharded.flush sharded));
+  check_sync 1000;
+  let tuples db =
+    List.sort Tuple.compare (Relation.to_list (Database.relation db "F"))
+  in
+  Alcotest.(check (list tuple_t))
+    (ctx 1001 "final store") (tuples db_seq) (tuples db_sh);
+  Alcotest.(check bool)
+    (ctx 1002 "deterministic stats counters equal")
+    true
+    (Stats.same_counters (Online.stats oracle) (Sharded.stats sharded));
+  Database.set_guard db_seq None;
+  Database.set_guard db_sh None
+
+let grid = [ (true, false); (false, false); (true, true); (false, true) ]
+
+let test_differential () =
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun (eager, consume) ->
+              run_differential ~seed ~domains ~eager ~consume ~chaos:false)
+            grid)
+        [ chaos_seed; chaos_seed + 1; chaos_seed + 2 ])
+    domain_counts
+
+let test_differential_chaos () =
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun (eager, consume) ->
+          run_differential ~seed:chaos_seed ~domains ~eager ~consume
+            ~chaos:true)
+        grid)
+    domain_counts
+
+(* --------------------------- migration ---------------------------- *)
+
+(* Two entries with disjoint bucket groups land on different shards;
+   a third whose atoms touch both groups must migrate one group into
+   the other's shard, after which the fused component coordinates
+   exactly as the oracle says. *)
+let test_migration_merges_components () =
+  let q name ~post ~head =
+    Query.make ~name
+      ~post:(List.map (fun c -> atom "R" [ cs c; var "y" ]) post)
+      ~head:[ atom "R" [ cs head; var "x" ] ]
+      [ atom "F" [ var "x"; cs "Zurich" ] ]
+  in
+  let qs =
+    [
+      q "a" ~post:[] ~head:"u1";
+      q "b" ~post:[] ~head:"u2";
+      q "link" ~post:[ "u1"; "u2" ] ~head:"u3";
+    ]
+  in
+  let db_sh = mk_db () in
+  let sharded = Sharded.create ~eager:false ~domains:2 db_sh in
+  List.iter (fun q -> ignore (Sharded.submit sharded q)) qs;
+  Alcotest.(check bool)
+    "distinct groups were sharded apart then merged" true
+    (Sharded.migrations sharded > 0);
+  let oracle = Online.create ~eager:false (mk_db ()) in
+  List.iter (fun q -> ignore (Online.submit oracle q)) qs;
+  Alcotest.(check (list (list int)))
+    "fused partition agrees" (Online.components oracle)
+    (Sharded.components sharded);
+  Alcotest.(check (list (list string)))
+    "fused component fires identically"
+    (List.map fired_names (Online.flush oracle))
+    (List.map fired_names (Sharded.flush sharded))
+
+(* ------------------------- degraded flush ------------------------- *)
+
+(* Under an exhausted probe budget every shard degrades rather than
+   fires; degraded components stay dirty, so disarming and flushing
+   again must converge to exactly the oracle's result. *)
+let test_degraded_flush_converges () =
+  let pool =
+    [
+      Query.make ~name:"qa"
+        ~post:[ atom "R" [ cs "C"; var "x" ] ]
+        ~head:[ atom "R" [ cs "G"; var "x" ] ]
+        [ atom "F" [ var "x"; cs "Zurich" ] ];
+      Query.make ~name:"qb" ~post:[]
+        ~head:[ atom "R" [ cs "C"; var "y" ] ]
+        [ atom "F" [ var "y"; cs "Zurich" ] ];
+    ]
+  in
+  let db_sh = mk_db () in
+  let sharded = Sharded.create ~eager:false ~domains:2 db_sh in
+  List.iter (fun q -> ignore (Sharded.submit sharded q)) pool;
+  let guard =
+    Resilient.arm { Resilient.default_config with max_probes = Some 0 }
+  in
+  Database.set_guard db_sh (Some guard);
+  Alcotest.(check int) "degraded flush fires nothing" 0
+    (List.length (Sharded.flush sharded));
+  Alcotest.(check bool) "degradation reported" true
+    (Sharded.last_degradation sharded <> None);
+  Database.set_guard db_sh None;
+  let oracle = Online.create ~eager:false (mk_db ()) in
+  List.iter (fun q -> ignore (Online.submit oracle q)) pool;
+  Alcotest.(check (list (list string)))
+    "disarmed flush converges to the oracle"
+    (List.map fired_names (Online.flush oracle))
+    (List.map fired_names (Sharded.flush sharded));
+  Alcotest.(check bool) "degradation cleared" true
+    (Sharded.last_degradation sharded = None)
+
+(* ----------------------- journal equivalence ---------------------- *)
+
+(* The sharded journal record stream must be byte-equivalent to the
+   sequential engine's, so lib/durable can log a sharded engine without
+   knowing it is sharded. *)
+let record_repr = function
+  | Online.Journal.Submitted { id; query } ->
+    Printf.sprintf "submitted %d %s" id query.Query.name
+  | Online.Journal.Rejected { id } -> Printf.sprintf "rejected %d" id
+  | Online.Journal.Retired { ids } ->
+    "retired " ^ String.concat "," (List.map string_of_int ids)
+  | Online.Journal.Consumed { deletions } ->
+    "consumed "
+    ^ String.concat ","
+        (List.map
+           (fun (r, t) -> Format.asprintf "%s:%a" r Tuple.pp t)
+           deletions)
+  | Online.Journal.Op_end { fired; _ } -> Printf.sprintf "op_end %d" fired
+
+let test_journal_stream_equivalent () =
+  List.iter
+    (fun domains ->
+      let rng = Prng.create 7 in
+      let db_seq = mk_db () and db_sh = mk_db () in
+      let oracle = Online.create ~consume:true db_seq in
+      let sharded = Sharded.create ~consume:true ~domains db_sh in
+      let log_seq = ref [] and log_sh = ref [] in
+      Online.set_journal oracle (Some (fun r -> log_seq := r :: !log_seq));
+      Sharded.set_journal sharded (Some (fun r -> log_sh := r :: !log_sh));
+      for step = 1 to 30 do
+        let q = random_query rng step in
+        ignore (Online.submit oracle q);
+        ignore (Sharded.submit sharded q)
+      done;
+      ignore (Online.flush oracle);
+      ignore (Sharded.flush sharded);
+      Alcotest.(check (list string))
+        (Printf.sprintf "domains %d: identical journal streams" domains)
+        (List.rev_map record_repr !log_seq)
+        (List.rev_map record_repr !log_sh))
+    domain_counts
+
+let suite =
+  [
+    Alcotest.test_case "differential: sharded == sequential oracle" `Quick
+      test_differential;
+    Alcotest.test_case "differential under seeded chaos faults" `Quick
+      test_differential_chaos;
+    Alcotest.test_case "migration merges cross-shard components" `Quick
+      test_migration_merges_components;
+    Alcotest.test_case "degraded flush stays dirty and converges" `Quick
+      test_degraded_flush_converges;
+    Alcotest.test_case "journal streams byte-equivalent" `Quick
+      test_journal_stream_equivalent;
+  ]

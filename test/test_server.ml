@@ -103,7 +103,7 @@ let mk_server ?(max_pending = 1024) ?(max_sessions = 0) ?guard ?durable db
       max_sessions;
     }
   in
-  Server.create cfg { Server.db; engine; durable; guard }
+  Server.create cfg { Server.db; engine = Server.Sequential engine; durable; guard }
 
 let connect srv = Server.Client.connect (Server.Tcp (loopback, Server.port srv))
 
